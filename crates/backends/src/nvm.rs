@@ -1,0 +1,172 @@
+//! Byte-addressable NVM device model.
+//!
+//! §5.2 of the paper anticipates NVM and CXL devices joining the offload
+//! hierarchy. This model gives a simple future tier: latency between
+//! zswap and SSDs, no endurance model at the page-swap write rates TMO
+//! produces, and no queueing cliff (NVM read bandwidth far exceeds the
+//! paging rates a single host generates).
+
+use std::collections::HashMap;
+
+use tmo_sim::{ByteSize, DetRng, SimDuration};
+
+use crate::traits::{BackendKind, BackendStats, IoKind, OffloadBackend, StoreOutcome};
+
+/// A simulated byte-addressable NVM device (e.g. Optane DC PMM class).
+///
+/// # Example
+///
+/// ```
+/// use tmo_backends::{NvmDevice, OffloadBackend};
+/// use tmo_sim::{ByteSize, DetRng};
+///
+/// let mut nvm = NvmDevice::new(ByteSize::from_gib(128));
+/// let mut rng = DetRng::seed_from_u64(1);
+/// let out = nvm.store(ByteSize::from_kib(4), 4.0, &mut rng).expect("fits");
+/// // NVM stores raw pages; no compression.
+/// assert_eq!(out.stored_bytes, ByteSize::from_kib(4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NvmDevice {
+    capacity: ByteSize,
+    stored: HashMap<u64, ByteSize>,
+    next_token: u64,
+    stats: BackendStats,
+    read_median: SimDuration,
+    write_median: SimDuration,
+    sigma: f64,
+}
+
+impl NvmDevice {
+    /// Creates an NVM device with ~3 µs median page-fault reads and
+    /// ~8 µs writes (page-granular kernel path, not raw media latency).
+    pub fn new(capacity: ByteSize) -> Self {
+        NvmDevice {
+            capacity,
+            stored: HashMap::new(),
+            next_token: 0,
+            stats: BackendStats::default(),
+            read_median: SimDuration::from_micros(3),
+            write_median: SimDuration::from_micros(8),
+            sigma: 0.25,
+        }
+    }
+}
+
+impl OffloadBackend for NvmDevice {
+    fn name(&self) -> &str {
+        "nvm"
+    }
+
+    fn kind(&self) -> BackendKind {
+        BackendKind::Nvm
+    }
+
+    fn access(&mut self, kind: IoKind, bytes: ByteSize, rng: &mut DetRng) -> SimDuration {
+        let median = match kind {
+            IoKind::Read => {
+                self.stats.reads += 1;
+                self.stats.bytes_read += bytes;
+                self.read_median
+            }
+            IoKind::Write => {
+                self.stats.writes += 1;
+                self.stats.bytes_written += bytes;
+                self.write_median
+            }
+        };
+        SimDuration::from_secs_f64(rng.log_normal(median.as_secs_f64(), self.sigma))
+    }
+
+    fn store(
+        &mut self,
+        page_bytes: ByteSize,
+        _compress_ratio: f64,
+        rng: &mut DetRng,
+    ) -> Option<StoreOutcome> {
+        if self.available() < page_bytes {
+            return None;
+        }
+        let _ = self.access(IoKind::Write, page_bytes, rng);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.stored.insert(token, page_bytes);
+        self.stats.pages_stored += 1;
+        self.stats.bytes_stored += page_bytes;
+        Some(StoreOutcome {
+            token,
+            stored_bytes: page_bytes,
+            store_latency: SimDuration::ZERO,
+        })
+    }
+
+    fn load(&mut self, token: u64, rng: &mut DetRng) -> Option<SimDuration> {
+        let bytes = self.stored.remove(&token)?;
+        self.stats.pages_stored -= 1;
+        self.stats.bytes_stored -= bytes;
+        Some(self.access(IoKind::Read, bytes, rng))
+    }
+
+    fn discard(&mut self, token: u64) -> bool {
+        match self.stored.remove(&token) {
+            Some(bytes) => {
+                self.stats.pages_stored -= 1;
+                self.stats.bytes_stored -= bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn stats(&self) -> BackendStats {
+        self.stats
+    }
+
+    fn capacity(&self) -> ByteSize {
+        self.capacity
+    }
+
+    fn tick(&mut self, _dt: SimDuration) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{fleet_device, SsdModel};
+    use crate::zswap::{ZswapAllocator, ZswapPool};
+
+    #[test]
+    fn nvm_sits_between_zswap_and_ssd() {
+        let mut nvm = NvmDevice::new(ByteSize::from_gib(1));
+        let mut zswap = ZswapPool::new(ByteSize::from_gib(1), ZswapAllocator::Zsmalloc);
+        let mut ssd = fleet_device(SsdModel::G);
+        let mut rng = DetRng::seed_from_u64(2);
+        let page = ByteSize::from_kib(4);
+        let n = 3000;
+        let mean = |lats: Vec<SimDuration>| {
+            lats.iter().map(|d| d.as_secs_f64()).sum::<f64>() / n as f64
+        };
+        let nvm_mean = mean((0..n).map(|_| nvm.access(IoKind::Read, page, &mut rng)).collect());
+        let z_mean = mean((0..n).map(|_| zswap.access(IoKind::Read, page, &mut rng)).collect());
+        let s_mean = mean((0..n).map(|_| ssd.access(IoKind::Read, page, &mut rng)).collect());
+        assert!(nvm_mean < z_mean, "nvm {nvm_mean} zswap {z_mean}");
+        assert!(z_mean < s_mean, "zswap {z_mean} ssd {s_mean}");
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let mut nvm = NvmDevice::new(ByteSize::from_kib(8));
+        let mut rng = DetRng::seed_from_u64(3);
+        let out = nvm.store(ByteSize::from_kib(4), 2.0, &mut rng).expect("fits");
+        assert!(nvm.load(out.token, &mut rng).is_some());
+        assert!(nvm.load(out.token, &mut rng).is_none());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut nvm = NvmDevice::new(ByteSize::from_kib(4));
+        let mut rng = DetRng::seed_from_u64(4);
+        assert!(nvm.store(ByteSize::from_kib(4), 1.0, &mut rng).is_some());
+        assert!(nvm.store(ByteSize::from_kib(4), 1.0, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! The backend interface the rest of the stack programs against.
+
+use std::fmt;
+
+use tmo_sim::{ByteSize, DetRng, SimDuration};
+
+/// Direction of a device access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoKind {
+    /// A read (page-in / refault / swap-in).
+    Read,
+    /// A write (page-out / swap-out / writeback).
+    Write,
+}
+
+/// The class of an offload backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// NVMe SSD swap device.
+    Ssd,
+    /// Compressed-memory pool in DRAM.
+    Zswap,
+    /// Byte-addressable non-volatile memory.
+    Nvm,
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendKind::Ssd => "ssd",
+            BackendKind::Zswap => "zswap",
+            BackendKind::Nvm => "nvm",
+        })
+    }
+}
+
+/// Result of storing one page into a backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOutcome {
+    /// Opaque handle to the stored page, used to load or drop it later.
+    pub token: u64,
+    /// Bytes of backend capacity the page actually consumes (compressed
+    /// size for zswap, page size for SSD swap).
+    pub stored_bytes: ByteSize,
+    /// Latency the *store path* imposed on the caller. Page-out is
+    /// asynchronous write-behind in the kernel, so this is zero for SSD
+    /// swap; zswap compression happens synchronously in reclaim context.
+    pub store_latency: SimDuration,
+}
+
+/// Cumulative device statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackendStats {
+    /// Total reads served.
+    pub reads: u64,
+    /// Total writes served.
+    pub writes: u64,
+    /// Total bytes read.
+    pub bytes_read: ByteSize,
+    /// Total bytes written (endurance-relevant for SSDs).
+    pub bytes_written: ByteSize,
+    /// Pages currently stored.
+    pub pages_stored: u64,
+    /// Backend capacity currently consumed.
+    pub bytes_stored: ByteSize,
+}
+
+/// A slow-memory tier that holds offloaded pages.
+///
+/// Implementations model latency (including congestion), capacity, and —
+/// for SSDs — endurance. The trait is object-safe so a machine can hold
+/// heterogeneous backends behind `Box<dyn OffloadBackend>`, and `Send`
+/// so whole machines can run on worker threads in fleet experiments.
+pub trait OffloadBackend: fmt::Debug + Send {
+    /// Human-readable device name (e.g. `"ssd-C"`).
+    fn name(&self) -> &str;
+
+    /// The backend class.
+    fn kind(&self) -> BackendKind;
+
+    /// Models one device access of `bytes` and returns its latency.
+    /// Updates congestion and cumulative statistics.
+    fn access(&mut self, kind: IoKind, bytes: ByteSize, rng: &mut DetRng) -> SimDuration;
+
+    /// Stores one page of `page_bytes` whose contents compress by
+    /// `compress_ratio` (e.g. 4.0 means 4:1). Returns `None` when the
+    /// backend is out of capacity.
+    fn store(
+        &mut self,
+        page_bytes: ByteSize,
+        compress_ratio: f64,
+        rng: &mut DetRng,
+    ) -> Option<StoreOutcome>;
+
+    /// Loads (and removes) a stored page, returning the fault latency
+    /// the requesting task observes. Returns `None` for an unknown
+    /// token.
+    fn load(&mut self, token: u64, rng: &mut DetRng) -> Option<SimDuration>;
+
+    /// Drops a stored page without loading it (e.g. the owner exited).
+    /// Returns whether the token was present.
+    fn discard(&mut self, token: u64) -> bool;
+
+    /// Cumulative statistics.
+    fn stats(&self) -> BackendStats;
+
+    /// Total capacity of the backend.
+    fn capacity(&self) -> ByteSize;
+
+    /// Capacity still available.
+    fn available(&self) -> ByteSize {
+        self.capacity().saturating_sub(self.stats().bytes_stored)
+    }
+
+    /// Advances the device's internal clock by one tick so rate-based
+    /// models (congestion EWMA, write-rate windows) decay.
+    fn tick(&mut self, dt: SimDuration);
+
+    /// Recent write rate in MB/s (decimal), for endurance regulation.
+    /// Zero for backends without an endurance concern.
+    fn write_rate_mbps(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_kind_display() {
+        assert_eq!(BackendKind::Ssd.to_string(), "ssd");
+        assert_eq!(BackendKind::Zswap.to_string(), "zswap");
+        assert_eq!(BackendKind::Nvm.to_string(), "nvm");
+    }
+
+    #[test]
+    fn stats_default_is_zeroed() {
+        let s = BackendStats::default();
+        assert_eq!(s.reads, 0);
+        assert_eq!(s.bytes_stored, ByteSize::ZERO);
+    }
+}

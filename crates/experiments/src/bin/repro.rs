@@ -1,0 +1,122 @@
+//! Command-line entry point for the paper reproductions.
+//!
+//! ```text
+//! repro --figure 9            # one figure
+//! repro --all                 # every figure plus the ablations
+//! repro --all --quick         # reduced scale
+//! repro --figure 12 --csv out # also export raw series as CSV
+//! ```
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tmo_experiments::{ablate, ext_sweep, ext_tiered, headline, run_figure, ExperimentOutput, Scale, ALL_FIGURES};
+
+#[derive(Debug, Default)]
+struct Args {
+    figures: Vec<u32>,
+    all: bool,
+    ablations: bool,
+    extensions: bool,
+    quick: bool,
+    csv: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--figure" | "-f" => {
+                let v = iter.next().ok_or("--figure needs a number")?;
+                args.figures
+                    .push(v.parse().map_err(|_| format!("bad figure number {v}"))?);
+            }
+            "--all" | "-a" => args.all = true,
+            "--ablations" => args.ablations = true,
+            "--extensions" => args.extensions = true,
+            "--quick" | "-q" => args.quick = true,
+            "--csv" => {
+                let v = iter.next().ok_or("--csv needs a directory")?;
+                args.csv = Some(PathBuf::from(v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "repro — regenerate the TMO paper's figures\n\n\
+                     USAGE: repro [--figure N]... [--all] [--ablations] [--extensions] [--quick] [--csv DIR]\n\n\
+                     Figures: {}",
+                    ALL_FIGURES
+                        .iter()
+                        .map(u32::to_string)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.figures.is_empty() && !args.all && !args.ablations && !args.extensions {
+        args.all = true;
+    }
+    Ok(args)
+}
+
+fn export_csv(dir: &PathBuf, out: &ExperimentOutput) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (tier, recorder) in &out.recorders {
+        let safe_tier: String = tier
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '_' })
+            .collect();
+        let path = dir.join(format!("{}-{safe_tier}.csv", out.id));
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(recorder.to_csv().as_bytes())?;
+        eprintln!("wrote {}", path.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = if args.quick { Scale::Quick } else { Scale::Paper };
+    let figures: Vec<u32> = if args.all {
+        ALL_FIGURES.to_vec()
+    } else {
+        args.figures.clone()
+    };
+
+    for figure in figures {
+        let Some(output) = run_figure(figure, scale) else {
+            eprintln!("figure {figure} is not part of the paper");
+            return ExitCode::FAILURE;
+        };
+        println!("{}", output.render());
+        if let Some(dir) = &args.csv {
+            if let Err(e) = export_csv(dir, &output) {
+                eprintln!("csv export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if args.all || args.ablations {
+        let output = ablate::run(scale);
+        println!("{}", output.render());
+    }
+    if args.all || args.extensions {
+        let output = ext_tiered::run(scale);
+        println!("{}", output.render());
+        let output = ext_sweep::run(scale);
+        println!("{}", output.render());
+        let output = headline::run(scale);
+        println!("{}", output.render());
+    }
+    ExitCode::SUCCESS
+}

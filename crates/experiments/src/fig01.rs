@@ -1,0 +1,48 @@
+//! Figure 1: cost of memory, compressed memory, and SSDs as a
+//! percentage of compute infrastructure across hardware generations.
+
+use crate::report::{pct, ExperimentOutput};
+
+/// Regenerates the Figure 1 cost table.
+pub fn run() -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "figure-01",
+        "Cost as % of infrastructure across hardware generations",
+    );
+    out.line(format!(
+        "{:<8} {:>10} {:>18} {:>14} {:>14}",
+        "Gen", "Memory", "Compressed(3x)", "SSD(iso-cap)", "SSD(equipped)"
+    ));
+    for row in tmo::cost::figure1() {
+        out.line(format!(
+            "Gen {:<4} {:>10} {:>18} {:>14} {:>14}",
+            row.generation,
+            pct(row.memory),
+            pct(row.compressed_memory),
+            pct(row.ssd_iso_capacity),
+            pct(row.ssd_equipped),
+        ));
+    }
+    out.line("paper: memory grows to 33%; iso-capacity SSD stays ~10x cheaper than".to_string());
+    out.line("compressed memory and under ~1% of server cost across generations".to_string());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_six_generations() {
+        let out = run();
+        let rows = out
+            .lines
+            .iter()
+            .filter(|l| {
+                l.starts_with("Gen ")
+                    && l.chars().nth(4).is_some_and(|c| c.is_ascii_digit())
+            })
+            .count();
+        assert_eq!(rows, 6);
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 3: datacenter and microservice memory tax as a percentage of
+//! server memory.
+//!
+//! A host is instantiated with a primary workload plus the two tax
+//! sidecars; the tax share of total server memory is then measured from
+//! the live cgroup accounting.
+
+use tmo::prelude::*;
+
+use crate::report::{pct, ExperimentOutput, Scale};
+
+/// Measured tax shares of one host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaxShares {
+    /// Datacenter tax fraction of server memory.
+    pub datacenter: f64,
+    /// Microservice tax fraction.
+    pub microservice: f64,
+}
+
+/// Builds the standard tax host: one workload container plus both tax
+/// sidecars sized from the server's memory.
+pub fn tax_machine(scale: Scale, seed: u64) -> (Machine, ContainerId, ContainerId, ContainerId) {
+    let server = ByteSize::from_mib(scale.dram_mib());
+    let mut machine = Machine::new(MachineConfig {
+        dram: server,
+        seed,
+        swap: SwapKind::Zswap {
+            capacity_fraction: 0.25,
+            allocator: ZswapAllocator::Zsmalloc,
+        },
+        ..MachineConfig::default()
+    });
+    let workload = machine.add_container(
+        &apps::feed().with_mem_total(server.mul_f64(0.45)),
+    );
+    let dc = machine.add_container_with(
+        &tax::datacenter_tax(server),
+        ContainerConfig {
+            relaxed: true,
+            ..ContainerConfig::default()
+        },
+    );
+    let micro = machine.add_container_with(
+        &tax::microservice_tax(server),
+        ContainerConfig {
+            relaxed: true,
+            ..ContainerConfig::default()
+        },
+    );
+    (machine, workload, dc, micro)
+}
+
+/// Measures the tax shares on a freshly provisioned host.
+pub fn measure(scale: Scale) -> TaxShares {
+    let (machine, _, dc, micro) = tax_machine(scale, 23);
+    let server = machine.mm().global_stat().total_dram;
+    let dc_mem = machine.mm().memory_current(machine.container(dc).cgroup());
+    let micro_mem = machine.mm().memory_current(machine.container(micro).cgroup());
+    TaxShares {
+        datacenter: dc_mem / server,
+        microservice: micro_mem / server,
+    }
+}
+
+/// Regenerates Figure 3.
+pub fn run(scale: Scale) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("figure-03", "Datacenter and microservice memory tax");
+    let shares = measure(scale);
+    out.line(format!(
+        "{:<20} {:>10} {:>12}",
+        "Component", "measured", "paper"
+    ));
+    out.line(format!(
+        "{:<20} {:>10} {:>12}",
+        "Datacenter Tax",
+        pct(shares.datacenter),
+        "13.0%"
+    ));
+    out.line(format!(
+        "{:<20} {:>10} {:>12}",
+        "Microservice Tax",
+        pct(shares.microservice),
+        "7.0%"
+    ));
+    out.line(format!(
+        "{:<20} {:>10} {:>12}",
+        "Total",
+        pct(shares.datacenter + shares.microservice),
+        "20.0%"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tax_shares_match_figure3() {
+        let shares = measure(Scale::Quick);
+        assert!((shares.datacenter - 0.13).abs() < 0.01, "{shares:?}");
+        assert!((shares.microservice - 0.07).abs() < 0.01, "{shares:?}");
+    }
+}

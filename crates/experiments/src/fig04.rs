@@ -1,0 +1,75 @@
+//! Figure 4: anonymous vs file-backed memory breakdown per application
+//! and per memory tax, measured from live cgroup accounting after
+//! instantiation.
+
+use tmo::prelude::*;
+
+use crate::report::{pct, ExperimentOutput, Scale};
+
+/// One measured breakdown row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitRow {
+    /// Container name.
+    pub name: String,
+    /// Anonymous fraction of resident memory.
+    pub anon: f64,
+    /// File-backed fraction.
+    pub file: f64,
+}
+
+/// Measures the anon/file split of one profile on a fresh host.
+pub fn measure(profile: &AppProfile, scale: Scale) -> SplitRow {
+    let mut machine = Machine::new(MachineConfig {
+        dram: ByteSize::from_mib(scale.dram_mib()),
+        seed: 31,
+        ..MachineConfig::default()
+    });
+    let app = profile.with_mem_total(ByteSize::from_mib(scale.app_mib()));
+    let id = machine.add_container(&app);
+    let stat = machine.mm().cgroup_stat(machine.container(id).cgroup());
+    let total = stat.resident().as_u64().max(1) as f64;
+    SplitRow {
+        name: profile.name.clone(),
+        anon: stat.anon_resident.as_u64() as f64 / total,
+        file: stat.file_resident.as_u64() as f64 / total,
+    }
+}
+
+/// Regenerates Figure 4: taxes first, then the applications.
+pub fn run(scale: Scale) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new("figure-04", "Anonymous and file-backed memory breakdown");
+    out.line(format!("{:<18} {:>10} {:>12}", "Container", "anon", "file-backed"));
+    let server = ByteSize::from_mib(scale.dram_mib());
+    let mut profiles = vec![tax::datacenter_tax(server), tax::microservice_tax(server)];
+    profiles.extend(tmo_workload::apps::figure4_apps());
+    for profile in profiles {
+        let row = measure(&profile, scale);
+        out.line(format!(
+            "{:<18} {:>10} {:>12}",
+            row.name,
+            pct(row.anon),
+            pct(row.file)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_matches_profile_fraction() {
+        let row = measure(&tmo_workload::apps::web(), Scale::Quick);
+        assert!((row.anon - 0.50).abs() < 0.02, "{row:?}");
+        assert!((row.anon + row.file - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_varies_wildly_across_apps() {
+        // §2.4: "The breakdown varies wildly across applications".
+        let video = measure(&tmo_workload::apps::video(), Scale::Quick);
+        let cache = measure(&tmo_workload::apps::cache_a(), Scale::Quick);
+        assert!(cache.anon - video.anon > 0.3);
+    }
+}

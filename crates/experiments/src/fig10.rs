@@ -1,0 +1,89 @@
+//! Figure 10: memory-tax savings normalised to a server's total memory.
+//!
+//! The tax host of Figure 3 runs under Senpai; because the tax sidecars
+//! have relaxed SLAs they tolerate higher pressure and give up most of
+//! their cold memory — the paper reports 9% of server memory from the
+//! datacenter tax and 4% from the microservice tax.
+
+use tmo::prelude::*;
+
+use crate::fig03::tax_machine;
+use crate::report::{pct, ExperimentOutput, Scale};
+
+/// Measured tax savings of one host, as fractions of server memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaxSavings {
+    /// Datacenter-tax savings fraction.
+    pub datacenter: f64,
+    /// Microservice-tax savings fraction.
+    pub microservice: f64,
+}
+
+impl TaxSavings {
+    /// Combined tax savings fraction.
+    pub fn total(&self) -> f64 {
+        self.datacenter + self.microservice
+    }
+}
+
+/// Runs the tax host under Senpai and measures savings.
+pub fn measure(scale: Scale) -> TaxSavings {
+    let (machine, _, dc, micro) = tax_machine(scale, 53);
+    let server = machine.mm().global_stat().total_dram;
+    let mut rt = tmo::TmoRuntime::with_senpai(
+        machine,
+        SenpaiConfig::accelerated(scale.speedup()),
+    );
+    rt.run(SimDuration::from_mins(scale.minutes()));
+    let dc_saved = rt.machine().net_savings_bytes(dc);
+    let micro_saved = rt.machine().net_savings_bytes(micro);
+    TaxSavings {
+        datacenter: dc_saved / server,
+        microservice: micro_saved / server,
+    }
+}
+
+/// Regenerates Figure 10.
+pub fn run(scale: Scale) -> ExperimentOutput {
+    let mut out = ExperimentOutput::new(
+        "figure-10",
+        "Memory tax savings normalised to server memory",
+    );
+    let savings = measure(scale);
+    out.line(format!("{:<20} {:>10} {:>10}", "Component", "measured", "paper"));
+    out.line(format!(
+        "{:<20} {:>10} {:>10}",
+        "Datacenter Tax",
+        pct(savings.datacenter),
+        "9.0%"
+    ));
+    out.line(format!(
+        "{:<20} {:>10} {:>10}",
+        "Microservice Tax",
+        pct(savings.microservice),
+        "4.0%"
+    ));
+    out.line(format!(
+        "{:<20} {:>10} {:>10}",
+        "Total",
+        pct(savings.total()),
+        "13.0%"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tax_savings_have_the_paper_shape() {
+        let s = measure(Scale::Quick);
+        // Datacenter tax saves more than microservice tax (it is larger
+        // and colder), and the total is a meaningful share of server
+        // memory.
+        assert!(s.datacenter > s.microservice, "{s:?}");
+        assert!(s.total() > 0.03, "{s:?}");
+        assert!(s.total() < 0.20, "{s:?}");
+    }
+}

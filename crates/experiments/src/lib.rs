@@ -1,0 +1,81 @@
+//! Reproductions of the TMO paper's evaluation figures.
+//!
+//! Each `figNN` module regenerates one figure/table of the paper:
+//! the same rows or time series, produced by the simulated stack. The
+//! [`report`] module renders them as text tables and CSV; the `repro`
+//! binary is the command-line entry point:
+//!
+//! ```text
+//! repro --figure 9          # one figure
+//! repro --all               # everything
+//! repro --all --quick       # reduced scale (used by tests/benches)
+//! repro --figure 12 --csv out/   # export raw series
+//! ```
+//!
+//! | Module | Paper figure | What it shows |
+//! |---|---|---|
+//! | [`fig01`] | Figure 1 | hardware cost model across generations |
+//! | [`fig02`] | Figure 2 | application memory coldness |
+//! | [`fig03`] | Figure 3 | datacenter / microservice memory tax |
+//! | [`fig04`] | Figure 4 | anonymous vs file-backed breakdown |
+//! | [`fig05`] | Figure 5 | fleet SSD characteristics |
+//! | [`fig06`] | Figure 6 | architecture overview (live walkthrough) |
+//! | [`fig07`] | Figure 7 | PSI some/full worked example |
+//! | [`fig08`] | Figure 8 | Senpai pressure tracking & reclaim tuning |
+//! | [`fig09`] | Figure 9 | per-application memory savings |
+//! | [`fig10`] | Figure 10 | memory-tax savings |
+//! | [`fig11`] | Figure 11 | Web on memory-bound hosts (3 phases) |
+//! | [`fig12`] | Figure 12 | PSI vs promotion rate, fast vs slow SSD |
+//! | [`fig13`] | Figure 13 | Senpai config A vs config B tuning |
+//! | [`fig14`] | Figure 14 | swap write regulation |
+//! | [`ablate`] | §3.3/§3.4 | design-choice ablations |
+//! | [`ext_tiered`] | §5.2 | tiered backend hierarchy extension |
+//! | [`ext_sweep`] | §4.4 | Senpai tuning sweep (savings/RPS frontier) |
+//! | [`headline`] | abstract | fleet-wide 20-32% savings rollup |
+
+pub mod ablate;
+pub mod ext_sweep;
+pub mod headline;
+pub mod ext_tiered;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod report;
+
+pub use report::{ExperimentOutput, Scale};
+
+/// Runs one experiment by figure number. Returns `None` for numbers the
+/// paper does not define (6 is the architecture diagram).
+pub fn run_figure(figure: u32, scale: Scale) -> Option<ExperimentOutput> {
+    Some(match figure {
+        1 => fig01::run(),
+        2 => fig02::run(scale),
+        3 => fig03::run(scale),
+        4 => fig04::run(scale),
+        5 => fig05::run(),
+        6 => fig06::run(scale),
+        7 => fig07::run(),
+        8 => fig08::run(scale),
+        9 => fig09::run(scale),
+        10 => fig10::run(scale),
+        11 => fig11::run(scale),
+        12 => fig12::run(scale),
+        13 => fig13::run(scale),
+        14 => fig14::run(scale),
+        _ => return None,
+    })
+}
+
+/// All reproducible figure numbers in order.
+pub const ALL_FIGURES: [u32; 14] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14];

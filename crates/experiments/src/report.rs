@@ -1,0 +1,148 @@
+//! Experiment output rendering: text tables, series summaries, CSV.
+
+use tmo_sim::{Recorder, Series};
+
+/// Scale of an experiment run.
+///
+/// `Paper` runs long enough for the controller dynamics to converge;
+/// `Quick` is a reduced-scale variant used by unit tests and benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Full reproduction scale.
+    #[default]
+    Paper,
+    /// Reduced scale for tests and benchmarks.
+    Quick,
+}
+
+impl Scale {
+    /// Simulated experiment duration in minutes.
+    pub fn minutes(self) -> u64 {
+        match self {
+            Scale::Paper => 10,
+            Scale::Quick => 2,
+        }
+    }
+
+    /// Host DRAM in MiB.
+    pub fn dram_mib(self) -> u64 {
+        match self {
+            Scale::Paper => 1024,
+            Scale::Quick => 256,
+        }
+    }
+
+    /// Application container footprint in MiB.
+    pub fn app_mib(self) -> u64 {
+        match self {
+            Scale::Paper => 512,
+            Scale::Quick => 96,
+        }
+    }
+
+    /// Senpai time-compression factor (see
+    /// [`tmo_senpai::SenpaiConfig::accelerated`]): larger steps stand in
+    /// for the hours-long production convergence the simulation cannot
+    /// afford.
+    pub fn speedup(self) -> f64 {
+        match self {
+            Scale::Paper => 20.0,
+            Scale::Quick => 40.0,
+        }
+    }
+}
+
+/// The result of one experiment: human-readable lines plus the raw
+/// recorders for CSV export.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentOutput {
+    /// Experiment id, e.g. `"figure-09"`.
+    pub id: String,
+    /// Title line.
+    pub title: String,
+    /// Rendered table rows / series summaries.
+    pub lines: Vec<String>,
+    /// Raw recorded series per tier, for `--csv` export.
+    pub recorders: Vec<(String, Recorder)>,
+}
+
+impl ExperimentOutput {
+    /// Creates an output shell.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Self {
+        ExperimentOutput {
+            id: id.into(),
+            title: title.into(),
+            ..ExperimentOutput::default()
+        }
+    }
+
+    /// Appends one rendered line.
+    pub fn line(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+
+    /// Renders the whole output as text.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        for l in &self.lines {
+            out.push_str(l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a series as a compact sampled trace:
+/// `name: v0 v1 v2 ... (n points, mean m)`.
+pub fn series_line(label: &str, series: &Series, points: usize) -> String {
+    let sampled = series.downsample(points);
+    let values: Vec<String> = sampled.iter().map(|s| format!("{:.1}", s.value)).collect();
+    format!(
+        "{label:<34} {} (n={}, mean={:.2})",
+        values.join(" "),
+        series.len(),
+        series.mean()
+    )
+}
+
+/// Formats a percentage cell.
+pub fn pct(v: f64) -> String {
+    format!("{:5.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmo_sim::SimTime;
+
+    #[test]
+    fn output_renders_header_and_lines() {
+        let mut out = ExperimentOutput::new("figure-01", "Cost model");
+        out.line("row 1");
+        let text = out.render();
+        assert!(text.starts_with("== figure-01 — Cost model =="));
+        assert!(text.contains("row 1"));
+    }
+
+    #[test]
+    fn series_line_downsamples() {
+        let mut s = Series::new("x");
+        for i in 0..100 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        let line = series_line("x", &s, 5);
+        assert!(line.contains("n=100"));
+        assert!(line.matches(' ').count() >= 5);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.125), " 12.5%");
+    }
+
+    #[test]
+    fn scales_differ() {
+        assert!(Scale::Paper.minutes() > Scale::Quick.minutes());
+        assert!(Scale::Paper.dram_mib() > Scale::Quick.dram_mib());
+    }
+}

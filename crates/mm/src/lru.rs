@@ -1,0 +1,214 @@
+//! Active/inactive LRU lists with lazy invalidation.
+//!
+//! The kernel maintains, per cgroup, a pair of LRU lists for each of
+//! anonymous and file-backed pages. We store page ids in `VecDeque`s and
+//! tolerate *stale* entries: when a page logically moves between lists
+//! (or is freed), its old entry stays behind and is skipped during scans
+//! by validating against the page's authoritative state. Lists compact
+//! themselves when stale entries dominate.
+
+use std::collections::VecDeque;
+
+use crate::page::{LruTier, PageId, PageKind};
+
+/// One LRU list. The head (front) holds the most recently inserted
+/// pages; reclaim scans pop from the tail (back).
+#[derive(Debug, Clone, Default)]
+pub struct LruList {
+    deque: VecDeque<PageId>,
+    /// Number of entries that are logically live (the rest are stale).
+    live: u64,
+}
+
+impl LruList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        LruList::default()
+    }
+
+    /// Logical (live) length.
+    pub fn len(&self) -> u64 {
+        self.live
+    }
+
+    /// Whether no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Pushes a page at the head and counts it live.
+    pub fn push(&mut self, page: PageId) {
+        self.deque.push_front(page);
+        self.live += 1;
+    }
+
+    /// Marks one live entry as logically removed (the physical entry is
+    /// skipped later).
+    pub fn forget_one(&mut self) {
+        debug_assert!(self.live > 0, "forgetting from an empty list");
+        self.live = self.live.saturating_sub(1);
+    }
+
+    /// Pops entries from the tail until `validate` accepts one, skipping
+    /// (and discarding) stale entries. Returns `None` when no live entry
+    /// validates. Decrements the live count for the returned entry; the
+    /// caller re-`push`es it (possibly to another list) if it survives.
+    pub fn pop_valid(&mut self, mut validate: impl FnMut(PageId) -> bool) -> Option<PageId> {
+        while let Some(page) = self.deque.pop_back() {
+            if validate(page) {
+                self.live = self.live.saturating_sub(1);
+                return Some(page);
+            }
+            // Stale entry: drop it silently.
+        }
+        None
+    }
+
+    /// Physical length including stale entries (for compaction
+    /// heuristics and tests).
+    pub fn physical_len(&self) -> usize {
+        self.deque.len()
+    }
+
+    /// Drops stale entries when they dominate, preserving order of the
+    /// live ones.
+    pub fn maybe_compact(&mut self, mut is_live: impl FnMut(PageId) -> bool) {
+        if self.deque.len() < 64 || (self.deque.len() as u64) < self.live * 2 {
+            return;
+        }
+        self.deque.retain(|&p| is_live(p));
+        self.live = self.deque.len() as u64;
+    }
+}
+
+/// The four LRU lists of one cgroup.
+#[derive(Debug, Clone, Default)]
+pub struct Lrus {
+    anon_active: LruList,
+    anon_inactive: LruList,
+    file_active: LruList,
+    file_inactive: LruList,
+}
+
+impl Lrus {
+    /// Creates four empty lists.
+    pub fn new() -> Self {
+        Lrus::default()
+    }
+
+    /// The list for `(kind, tier)`.
+    pub fn list(&self, kind: PageKind, tier: LruTier) -> &LruList {
+        match (kind, tier) {
+            (PageKind::Anon, LruTier::Active) => &self.anon_active,
+            (PageKind::Anon, LruTier::Inactive) => &self.anon_inactive,
+            (PageKind::File, LruTier::Active) => &self.file_active,
+            (PageKind::File, LruTier::Inactive) => &self.file_inactive,
+        }
+    }
+
+    /// Mutable access to the list for `(kind, tier)`.
+    pub fn list_mut(&mut self, kind: PageKind, tier: LruTier) -> &mut LruList {
+        match (kind, tier) {
+            (PageKind::Anon, LruTier::Active) => &mut self.anon_active,
+            (PageKind::Anon, LruTier::Inactive) => &mut self.anon_inactive,
+            (PageKind::File, LruTier::Active) => &mut self.file_active,
+            (PageKind::File, LruTier::Inactive) => &mut self.file_inactive,
+        }
+    }
+
+    /// Live pages of `kind` across both tiers.
+    pub fn kind_len(&self, kind: PageKind) -> u64 {
+        self.list(kind, LruTier::Active).len() + self.list(kind, LruTier::Inactive).len()
+    }
+
+    /// Whether the inactive list of `kind` is low relative to active
+    /// (the kernel's `inactive_is_low` heuristic, ratio 1:1 for our page
+    /// counts).
+    pub fn inactive_is_low(&self, kind: PageKind) -> bool {
+        self.list(kind, LruTier::Inactive).len() < self.list(kind, LruTier::Active).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> PageId {
+        PageId(n)
+    }
+
+    #[test]
+    fn push_pop_is_fifo_from_tail() {
+        let mut l = LruList::new();
+        l.push(pid(1));
+        l.push(pid(2));
+        l.push(pid(3));
+        assert_eq!(l.pop_valid(|_| true), Some(pid(1)));
+        assert_eq!(l.pop_valid(|_| true), Some(pid(2)));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn pop_skips_stale_entries() {
+        let mut l = LruList::new();
+        l.push(pid(1));
+        l.push(pid(2));
+        l.forget_one(); // pid(1) logically moved away
+        assert_eq!(l.pop_valid(|p| p == pid(2)), Some(pid(2)));
+        assert_eq!(l.pop_valid(|_| true), None);
+        assert_eq!(l.len(), 0);
+    }
+
+    #[test]
+    fn pop_on_empty_returns_none() {
+        let mut l = LruList::new();
+        assert_eq!(l.pop_valid(|_| true), None);
+    }
+
+    #[test]
+    fn compaction_removes_stale() {
+        let mut l = LruList::new();
+        for i in 0..100 {
+            l.push(pid(i));
+        }
+        // Invalidate the 80 odd-and-low entries.
+        for _ in 0..80 {
+            l.forget_one();
+        }
+        l.maybe_compact(|p| p.as_u64() >= 80);
+        assert_eq!(l.physical_len(), 20);
+        assert_eq!(l.len(), 20);
+    }
+
+    #[test]
+    fn small_lists_do_not_compact() {
+        let mut l = LruList::new();
+        for i in 0..10 {
+            l.push(pid(i));
+        }
+        for _ in 0..9 {
+            l.forget_one();
+        }
+        l.maybe_compact(|_| false);
+        assert_eq!(l.physical_len(), 10); // untouched below threshold
+    }
+
+    #[test]
+    fn lrus_kind_len_sums_tiers() {
+        let mut ls = Lrus::new();
+        ls.list_mut(PageKind::File, LruTier::Active).push(pid(1));
+        ls.list_mut(PageKind::File, LruTier::Inactive).push(pid(2));
+        ls.list_mut(PageKind::Anon, LruTier::Inactive).push(pid(3));
+        assert_eq!(ls.kind_len(PageKind::File), 2);
+        assert_eq!(ls.kind_len(PageKind::Anon), 1);
+    }
+
+    #[test]
+    fn inactive_is_low_tracks_balance() {
+        let mut ls = Lrus::new();
+        ls.list_mut(PageKind::Anon, LruTier::Active).push(pid(1));
+        assert!(ls.inactive_is_low(PageKind::Anon));
+        ls.list_mut(PageKind::Anon, LruTier::Inactive).push(pid(2));
+        assert!(!ls.inactive_is_low(PageKind::Anon));
+    }
+}

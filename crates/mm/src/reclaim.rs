@@ -1,0 +1,200 @@
+//! Reclaim policy: how much pressure to put on file cache vs swap.
+//!
+//! Historically the kernel "skewed heavily towards file cache through a
+//! number of different heuristics", relegating swap to an emergency
+//! overflow (§3.4). TMO changed the algorithm: reclaim exclusively from
+//! file cache as long as no refaults occur; once refaults begin, balance
+//! file and anon scan pressure by the refault rate and swap-in rate
+//! respectively. Both policies are implemented here so the ablation
+//! benchmark can compare them.
+
+/// Which balancing algorithm reclaim uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReclaimPolicy {
+    /// Pre-TMO behaviour: evict file cache almost exclusively; touch
+    /// swap only when file cache is nearly gone.
+    LegacyFileFirst,
+    /// TMO behaviour: file-only until refaults appear, then balance by
+    /// re-access cost.
+    #[default]
+    RefaultBalanced,
+}
+
+/// How a reclaim batch should be split between the two pools.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScanSplit {
+    /// Fraction of scan pressure aimed at file pages, in `[0, 1]`.
+    pub file_fraction: f64,
+}
+
+impl ScanSplit {
+    /// Number of file pages to target out of `total`.
+    pub fn file_share(&self, total: u64) -> u64 {
+        (total as f64 * self.file_fraction).round() as u64
+    }
+}
+
+/// Inputs to the balancing decision for one cgroup.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceInputs {
+    /// Resident file pages.
+    pub file_pages: u64,
+    /// Resident anonymous pages.
+    pub anon_pages: u64,
+    /// Smoothed workingset refault rate (events/s).
+    pub refault_rate: f64,
+    /// Smoothed swap-in rate (events/s).
+    pub swapin_rate: f64,
+    /// Whether a swap backend exists and has room.
+    pub swap_available: bool,
+}
+
+/// Refault rate below which the file cache is considered to still hold
+/// only cold tail pages (events/s). Below this, TMO reclaim stays
+/// file-only.
+const REFAULT_EPSILON: f64 = 0.5;
+
+/// Fraction of resident file pages the legacy policy protects; swap is
+/// only used when file cache falls below this floor.
+const LEGACY_FILE_FLOOR_FRACTION: f64 = 0.02;
+
+impl ReclaimPolicy {
+    /// Decides the file/anon scan split for a reclaim batch.
+    pub fn split(&self, inputs: &BalanceInputs) -> ScanSplit {
+        // With no swap backend (file-only mode) or empty pools the
+        // decision is forced.
+        if !inputs.swap_available || inputs.anon_pages == 0 {
+            return ScanSplit { file_fraction: 1.0 };
+        }
+        if inputs.file_pages == 0 {
+            return ScanSplit { file_fraction: 0.0 };
+        }
+        match self {
+            ReclaimPolicy::LegacyFileFirst => {
+                // Heuristic skew: keep dropping file cache until almost
+                // none is left, then fall back to swap.
+                let floor =
+                    ((inputs.file_pages + inputs.anon_pages) as f64
+                        * LEGACY_FILE_FLOOR_FRACTION) as u64;
+                if inputs.file_pages > floor {
+                    ScanSplit { file_fraction: 1.0 }
+                } else {
+                    ScanSplit { file_fraction: 0.0 }
+                }
+            }
+            ReclaimPolicy::RefaultBalanced => {
+                if inputs.refault_rate < REFAULT_EPSILON {
+                    // No refaults: the file cache still holds pages that
+                    // are never re-read. Reclaim exclusively from file.
+                    return ScanSplit { file_fraction: 1.0 };
+                }
+                // Refaults have begun: the file workingset is being
+                // cut into. Balance scan pressure inversely to each
+                // pool's re-access cost so the pool that faults back
+                // *less* is reclaimed *more*.
+                let file_cost = inputs.refault_rate.max(REFAULT_EPSILON);
+                let anon_cost = inputs.swapin_rate.max(REFAULT_EPSILON);
+                let file_fraction = anon_cost / (anon_cost + file_cost);
+                ScanSplit { file_fraction }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> BalanceInputs {
+        BalanceInputs {
+            file_pages: 1000,
+            anon_pages: 1000,
+            refault_rate: 0.0,
+            swapin_rate: 0.0,
+            swap_available: true,
+        }
+    }
+
+    #[test]
+    fn no_swap_forces_file_only() {
+        for policy in [ReclaimPolicy::LegacyFileFirst, ReclaimPolicy::RefaultBalanced] {
+            let split = policy.split(&BalanceInputs {
+                swap_available: false,
+                refault_rate: 100.0,
+                ..inputs()
+            });
+            assert_eq!(split.file_fraction, 1.0);
+        }
+    }
+
+    #[test]
+    fn no_file_pages_forces_anon() {
+        let split = ReclaimPolicy::RefaultBalanced.split(&BalanceInputs {
+            file_pages: 0,
+            ..inputs()
+        });
+        assert_eq!(split.file_fraction, 0.0);
+    }
+
+    #[test]
+    fn balanced_policy_is_file_only_without_refaults() {
+        let split = ReclaimPolicy::RefaultBalanced.split(&BalanceInputs {
+            refault_rate: 0.1,
+            swapin_rate: 50.0,
+            ..inputs()
+        });
+        assert_eq!(split.file_fraction, 1.0);
+    }
+
+    #[test]
+    fn balanced_policy_shifts_to_anon_as_refaults_rise() {
+        let mild = ReclaimPolicy::RefaultBalanced.split(&BalanceInputs {
+            refault_rate: 2.0,
+            swapin_rate: 2.0,
+            ..inputs()
+        });
+        assert!((mild.file_fraction - 0.5).abs() < 1e-9);
+
+        let heavy = ReclaimPolicy::RefaultBalanced.split(&BalanceInputs {
+            refault_rate: 30.0,
+            swapin_rate: 2.0,
+            ..inputs()
+        });
+        assert!(heavy.file_fraction < 0.1, "got {}", heavy.file_fraction);
+
+        let swap_thrash = ReclaimPolicy::RefaultBalanced.split(&BalanceInputs {
+            refault_rate: 2.0,
+            swapin_rate: 30.0,
+            ..inputs()
+        });
+        assert!(swap_thrash.file_fraction > 0.9);
+    }
+
+    #[test]
+    fn legacy_policy_protects_almost_no_file_cache() {
+        // Plenty of file cache: reclaim it all, never swap.
+        let split = ReclaimPolicy::LegacyFileFirst.split(&BalanceInputs {
+            refault_rate: 100.0, // even under heavy refaults
+            ..inputs()
+        });
+        assert_eq!(split.file_fraction, 1.0);
+
+        // File cache nearly exhausted: finally swap.
+        let split = ReclaimPolicy::LegacyFileFirst.split(&BalanceInputs {
+            file_pages: 10,
+            anon_pages: 10_000,
+            ..inputs()
+        });
+        assert_eq!(split.file_fraction, 0.0);
+    }
+
+    #[test]
+    fn file_share_rounds() {
+        let split = ScanSplit {
+            file_fraction: 0.25,
+        };
+        assert_eq!(split.file_share(100), 25);
+        assert_eq!(split.file_share(2), 1); // 0.5 rounds up
+        assert_eq!(split.file_share(0), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Non-resident workingset tracking (§3.4).
+//!
+//! When a file page is evicted, the kernel stores the cgroup's eviction
+//! counter in a *shadow entry* replacing the page. On a later fault the
+//! *reuse distance* — evictions that happened in between — tells the
+//! kernel whether the page was part of the workingset: a distance
+//! smaller than the resident set means the page would have stayed in
+//! memory had the cache been left alone, so the fault is a **refault**.
+//! Refaults (and swap-ins) feed both memory PSI and the reclaim
+//! balancing policy.
+
+use tmo_sim::SimDuration;
+
+/// Per-cgroup eviction clock for shadow entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictionClock(u64);
+
+impl EvictionClock {
+    /// Creates a clock at zero.
+    pub fn new() -> Self {
+        EvictionClock::default()
+    }
+
+    /// Current counter value.
+    pub fn now(&self) -> u64 {
+        self.0
+    }
+
+    /// Records one eviction, returning the shadow value to store in the
+    /// evicted page's slot.
+    pub fn record_eviction(&mut self) -> u64 {
+        let shadow = self.0;
+        self.0 += 1;
+        shadow
+    }
+
+    /// Reuse distance for a fault on a page evicted at `shadow`.
+    pub fn reuse_distance(&self, shadow: u64) -> u64 {
+        self.0.saturating_sub(shadow)
+    }
+
+    /// Whether a fault with the given shadow is a workingset refault,
+    /// judged against the currently resident page count: the page would
+    /// still be resident had nothing been evicted in between.
+    pub fn is_refault(&self, shadow: u64, resident_pages: u64) -> bool {
+        self.reuse_distance(shadow) <= resident_pages
+    }
+}
+
+/// A decaying event-rate estimate (events/second), used for the refault
+/// and swap-in rates that drive reclaim balancing and for `memory.stat`
+/// style rate reporting.
+///
+/// # Example
+///
+/// ```
+/// use tmo_mm::RateCounter;
+/// use tmo_sim::SimDuration;
+///
+/// let mut r = RateCounter::new(SimDuration::from_secs(30));
+/// for _ in 0..120 {
+///     r.add(10);
+///     r.tick(SimDuration::from_secs(1)); // 10 events/s sustained
+/// }
+/// assert!((r.rate() - 10.0).abs() < 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateCounter {
+    window_secs: f64,
+    pending: u64,
+    rate: f64,
+    total: u64,
+}
+
+impl RateCounter {
+    /// Creates a counter with the given EWMA window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "rate window must be non-zero");
+        RateCounter {
+            window_secs: window.as_secs_f64(),
+            pending: 0,
+            rate: 0.0,
+            total: 0,
+        }
+    }
+
+    /// Records `n` events.
+    pub fn add(&mut self, n: u64) {
+        self.pending += n;
+        self.total += n;
+    }
+
+    /// Folds pending events into the rate; call once per tick.
+    pub fn tick(&mut self, dt: SimDuration) {
+        if dt.is_zero() {
+            return;
+        }
+        let inst = self.pending as f64 / dt.as_secs_f64();
+        let decay = (-dt.as_secs_f64() / self.window_secs).exp();
+        self.rate = self.rate * decay + inst * (1.0 - decay);
+        self.pending = 0;
+    }
+
+    /// Smoothed events/second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Cumulative event count (monotonic, like a `memory.stat` counter).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_clock_monotonic() {
+        let mut clock = EvictionClock::new();
+        let s0 = clock.record_eviction();
+        let s1 = clock.record_eviction();
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 1);
+        assert_eq!(clock.now(), 2);
+    }
+
+    #[test]
+    fn reuse_distance_counts_interleaved_evictions() {
+        let mut clock = EvictionClock::new();
+        let shadow = clock.record_eviction();
+        for _ in 0..9 {
+            clock.record_eviction();
+        }
+        assert_eq!(clock.reuse_distance(shadow), 10);
+    }
+
+    #[test]
+    fn refault_classification_against_resident_size() {
+        let mut clock = EvictionClock::new();
+        let shadow = clock.record_eviction();
+        for _ in 0..99 {
+            clock.record_eviction();
+        }
+        // Distance 100: refault iff at least 100 pages are resident.
+        assert!(clock.is_refault(shadow, 100));
+        assert!(!clock.is_refault(shadow, 99));
+    }
+
+    #[test]
+    fn immediate_refault_always_qualifies() {
+        let mut clock = EvictionClock::new();
+        let shadow = clock.record_eviction();
+        assert!(clock.is_refault(shadow, 1));
+    }
+
+    #[test]
+    fn rate_counter_converges_and_decays() {
+        let mut r = RateCounter::new(SimDuration::from_secs(10));
+        for _ in 0..100 {
+            r.add(5);
+            r.tick(SimDuration::from_secs(1));
+        }
+        assert!((r.rate() - 5.0).abs() < 0.1, "rate {}", r.rate());
+        for _ in 0..100 {
+            r.tick(SimDuration::from_secs(1));
+        }
+        assert!(r.rate() < 0.01);
+        assert_eq!(r.total(), 500);
+    }
+
+    #[test]
+    fn rate_counter_zero_dt_noop() {
+        let mut r = RateCounter::new(SimDuration::from_secs(10));
+        r.add(3);
+        r.tick(SimDuration::ZERO);
+        assert_eq!(r.rate(), 0.0);
+        assert_eq!(r.total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate window must be non-zero")]
+    fn zero_window_panics() {
+        let _ = RateCounter::new(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,290 @@
+//! Interval-set arithmetic over stall intervals.
+//!
+//! Stall times within an observation window are represented as sets of
+//! half-open nanosecond intervals `[start, end)` relative to the window
+//! start. The PSI metrics are measures of set operations:
+//!
+//! * `some` = |union of all tasks' stall sets|
+//! * `full` = |intersection of all non-idle tasks' stall sets|
+
+use std::fmt;
+
+/// A half-open interval `[start, end)` in nanoseconds relative to the
+/// start of an observation window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Interval {
+    /// Inclusive start offset (ns).
+    pub start: u64,
+    /// Exclusive end offset (ns).
+    pub end: u64,
+}
+
+impl Interval {
+    /// Creates an interval, normalising an inverted pair to empty.
+    pub fn new(start: u64, end: u64) -> Self {
+        if end < start {
+            Interval { start, end: start }
+        } else {
+            Interval { start, end }
+        }
+    }
+
+    /// Length in nanoseconds.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the interval is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Intersection with another interval, or `None` if disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(Interval { start, end })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// A normalised (sorted, coalesced, non-overlapping) set of intervals.
+///
+/// # Example
+///
+/// ```
+/// use tmo_psi::IntervalSet;
+///
+/// let a = IntervalSet::from_spans(&[(0, 10), (5, 20)]);
+/// assert_eq!(a.total_len(), 20); // overlapping spans coalesce
+/// let b = IntervalSet::from_spans(&[(15, 30)]);
+/// assert_eq!(a.union(&b).total_len(), 30);
+/// assert_eq!(a.intersect(&b).total_len(), 5);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    intervals: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Builds a set from `(start, end)` spans; overlapping or unsorted
+    /// spans are normalised.
+    pub fn from_spans(spans: &[(u64, u64)]) -> Self {
+        let mut set = IntervalSet {
+            intervals: spans
+                .iter()
+                .map(|&(s, e)| Interval::new(s, e))
+                .filter(|iv| !iv.is_empty())
+                .collect(),
+        };
+        set.normalize();
+        set
+    }
+
+    /// A set holding the single interval `[0, len)`; empty when `len` is 0.
+    pub fn full_window(len: u64) -> Self {
+        IntervalSet::from_spans(&[(0, len)])
+    }
+
+    /// Adds a span and re-normalises.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        let iv = Interval::new(start, end);
+        if !iv.is_empty() {
+            self.intervals.push(iv);
+            self.normalize();
+        }
+    }
+
+    fn normalize(&mut self) {
+        self.intervals.sort_by_key(|iv| (iv.start, iv.end));
+        let mut merged: Vec<Interval> = Vec::with_capacity(self.intervals.len());
+        for iv in self.intervals.drain(..) {
+            match merged.last_mut() {
+                Some(last) if iv.start <= last.end => {
+                    last.end = last.end.max(iv.end);
+                }
+                _ => merged.push(iv),
+            }
+        }
+        self.intervals = merged;
+    }
+
+    /// The normalised intervals in order.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.intervals
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Total measure (sum of interval lengths) in nanoseconds.
+    pub fn total_len(&self) -> u64 {
+        self.intervals.iter().map(Interval::len).sum()
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut all = self.intervals.clone();
+        all.extend_from_slice(&other.intervals);
+        let mut set = IntervalSet { intervals: all };
+        set.normalize();
+        set
+    }
+
+    /// Intersection of two sets (linear merge over sorted intervals).
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let a = self.intervals[i];
+            let b = other.intervals[j];
+            if let Some(iv) = a.intersect(&b) {
+                out.push(iv);
+            }
+            if a.end <= b.end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { intervals: out }
+    }
+
+    /// Clips the set to `[0, limit)`.
+    pub fn clip(&self, limit: u64) -> IntervalSet {
+        self.intersect(&IntervalSet::full_window(limit))
+    }
+}
+
+impl FromIterator<(u64, u64)> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = (u64, u64)>>(iter: T) -> Self {
+        let spans: Vec<(u64, u64)> = iter.into_iter().collect();
+        IntervalSet::from_spans(&spans)
+    }
+}
+
+/// Computes the union of many sets.
+pub fn union_all<'a>(sets: impl IntoIterator<Item = &'a IntervalSet>) -> IntervalSet {
+    let mut all = Vec::new();
+    for s in sets {
+        all.extend_from_slice(&s.intervals);
+    }
+    let mut set = IntervalSet { intervals: all };
+    set.normalize();
+    set
+}
+
+/// Computes the intersection of many sets; `None` when the iterator is
+/// empty (an empty intersection over zero sets is undefined — callers
+/// decide what that means for them).
+pub fn intersect_all<'a>(
+    sets: impl IntoIterator<Item = &'a IntervalSet>,
+) -> Option<IntervalSet> {
+    let mut iter = sets.into_iter();
+    let first = iter.next()?.clone();
+    Some(iter.fold(first, |acc, s| acc.intersect(s)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_new_normalises_inverted() {
+        let iv = Interval::new(10, 5);
+        assert!(iv.is_empty());
+        assert_eq!(iv.len(), 0);
+    }
+
+    #[test]
+    fn from_spans_coalesces_overlaps_and_touching() {
+        let s = IntervalSet::from_spans(&[(0, 10), (10, 20), (30, 40), (35, 50)]);
+        assert_eq!(s.intervals().len(), 2);
+        assert_eq!(s.total_len(), 40);
+    }
+
+    #[test]
+    fn from_spans_drops_empty() {
+        let s = IntervalSet::from_spans(&[(5, 5), (7, 3)]);
+        assert!(s.is_empty());
+        assert_eq!(s.total_len(), 0);
+    }
+
+    #[test]
+    fn union_measures() {
+        let a = IntervalSet::from_spans(&[(0, 10), (20, 30)]);
+        let b = IntervalSet::from_spans(&[(5, 25)]);
+        let u = a.union(&b);
+        assert_eq!(u.total_len(), 30);
+        assert_eq!(u.intervals().len(), 1);
+    }
+
+    #[test]
+    fn intersect_measures() {
+        let a = IntervalSet::from_spans(&[(0, 10), (20, 30)]);
+        let b = IntervalSet::from_spans(&[(5, 25)]);
+        let i = a.intersect(&b);
+        assert_eq!(i.total_len(), 10); // [5,10) and [20,25)
+        assert_eq!(i.intervals().len(), 2);
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = IntervalSet::from_spans(&[(0, 5)]);
+        let b = IntervalSet::from_spans(&[(5, 10)]);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn clip_restricts_to_window() {
+        let a = IntervalSet::from_spans(&[(50, 150)]);
+        assert_eq!(a.clip(100).total_len(), 50);
+        assert!(a.clip(50).is_empty());
+    }
+
+    #[test]
+    fn union_all_and_intersect_all() {
+        let sets = [
+            IntervalSet::from_spans(&[(0, 10)]),
+            IntervalSet::from_spans(&[(5, 15)]),
+            IntervalSet::from_spans(&[(8, 20)]),
+        ];
+        assert_eq!(union_all(&sets).total_len(), 20);
+        assert_eq!(intersect_all(&sets).expect("non-empty").total_len(), 2); // [8,10)
+        assert!(intersect_all(std::iter::empty::<&IntervalSet>()).is_none());
+    }
+
+    #[test]
+    fn insert_keeps_normalised() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(0, 5);
+        s.insert(4, 12);
+        assert_eq!(s.intervals().len(), 1);
+        assert_eq!(s.total_len(), 20);
+        s.insert(3, 3); // empty, ignored
+        assert_eq!(s.total_len(), 20);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: IntervalSet = [(0u64, 4u64), (2, 8)].into_iter().collect();
+        assert_eq!(s.total_len(), 8);
+    }
+}

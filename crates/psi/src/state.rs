@@ -1,0 +1,247 @@
+//! Event-driven PSI accounting: the kernel's task state machine.
+//!
+//! The real kernel does not see stall intervals up front; it observes
+//! *state transitions* — `psi_task_change` fires whenever a task starts
+//! or stops stalling on a resource — and integrates `some`/`full` time
+//! between consecutive transitions from the current stall counts:
+//!
+//! * `some` accrues while `nr_stalled > 0`,
+//! * `full` accrues while `nr_stalled > 0` and `nr_stalled ==
+//!   nr_non_idle` (every non-idle task stalled).
+//!
+//! [`StateTracker`] implements that incremental computation. It is the
+//! second, independently-derived front-end to the same metric as
+//! [`crate::PsiGroup`]'s interval engine; the property tests in
+//! `tests/state_equivalence.rs` verify the two agree on arbitrary
+//! schedules, which is strong evidence both are correct.
+
+use std::collections::HashMap;
+
+use tmo_sim::{SimDuration, SimTime};
+
+use crate::group::Resource;
+
+/// A task identifier within one tracked domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u64);
+
+/// Per-task flags the tracker maintains.
+#[derive(Debug, Clone, Copy, Default)]
+struct TaskState {
+    non_idle: bool,
+    /// Stall flag per resource (indexed like `Resource::ALL`).
+    stalled: [bool; 3],
+}
+
+/// Accumulated totals for one resource.
+#[derive(Debug, Clone, Copy, Default)]
+struct Totals {
+    some: SimDuration,
+    full: SimDuration,
+}
+
+/// Incremental PSI accounting from task state-change events.
+///
+/// # Example
+///
+/// ```
+/// use tmo_psi::state::{StateTracker, TaskId};
+/// use tmo_psi::Resource;
+/// use tmo_sim::{SimDuration, SimTime};
+///
+/// let mut t = StateTracker::new();
+/// t.set_non_idle(SimTime::ZERO, TaskId(0), true);
+/// t.set_stalled(SimTime::from_secs(1), TaskId(0), Resource::Memory, true);
+/// t.set_stalled(SimTime::from_secs(3), TaskId(0), Resource::Memory, false);
+/// let (some, full) = t.totals(SimTime::from_secs(10), Resource::Memory);
+/// assert_eq!(some, SimDuration::from_secs(2));
+/// assert_eq!(full, SimDuration::from_secs(2)); // single task: some == full
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StateTracker {
+    tasks: HashMap<TaskId, TaskState>,
+    totals: [Totals; 3],
+    last_event: SimTime,
+}
+
+fn resource_index(resource: Resource) -> usize {
+    match resource {
+        Resource::Cpu => 0,
+        Resource::Memory => 1,
+        Resource::Io => 2,
+    }
+}
+
+impl StateTracker {
+    /// Creates an empty tracker at time zero.
+    pub fn new() -> Self {
+        StateTracker::default()
+    }
+
+    /// Integrates elapsed time into the totals up to `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `now` precedes the last event (events
+    /// must arrive in time order).
+    fn advance(&mut self, now: SimTime) {
+        debug_assert!(now >= self.last_event, "events must be time-ordered");
+        let dt = now.saturating_since(self.last_event);
+        self.last_event = now;
+        if dt.is_zero() {
+            return;
+        }
+        let non_idle = self.tasks.values().filter(|t| t.non_idle).count();
+        for r in 0..3 {
+            let stalled = self
+                .tasks
+                .values()
+                .filter(|t| t.non_idle && t.stalled[r])
+                .count();
+            if stalled > 0 {
+                self.totals[r].some += dt;
+                if stalled == non_idle {
+                    self.totals[r].full += dt;
+                }
+            }
+        }
+    }
+
+    /// Marks a task (non-)idle at `now`. Unknown tasks are created.
+    pub fn set_non_idle(&mut self, now: SimTime, task: TaskId, non_idle: bool) {
+        self.advance(now);
+        let state = self.tasks.entry(task).or_default();
+        state.non_idle = non_idle;
+        if !non_idle {
+            state.stalled = [false; 3];
+        }
+    }
+
+    /// Marks a task (un)stalled on `resource` at `now` — the
+    /// `psi_task_change` event.
+    pub fn set_stalled(
+        &mut self,
+        now: SimTime,
+        task: TaskId,
+        resource: Resource,
+        stalled: bool,
+    ) {
+        self.advance(now);
+        let state = self.tasks.entry(task).or_default();
+        state.stalled[resource_index(resource)] = stalled;
+    }
+
+    /// Removes a task (exit) at `now`.
+    pub fn remove_task(&mut self, now: SimTime, task: TaskId) {
+        self.advance(now);
+        self.tasks.remove(&task);
+    }
+
+    /// The `(some, full)` stall totals for `resource`, integrated up to
+    /// `now`.
+    pub fn totals(&mut self, now: SimTime, resource: Resource) -> (SimDuration, SimDuration) {
+        self.advance(now);
+        let t = self.totals[resource_index(resource)];
+        (t.some, t.full)
+    }
+
+    /// Number of currently tracked tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: u64) -> SimTime {
+        SimTime::from_secs(v)
+    }
+
+    fn d(v: u64) -> SimDuration {
+        SimDuration::from_secs(v)
+    }
+
+    #[test]
+    fn single_task_some_equals_full() {
+        let mut t = StateTracker::new();
+        t.set_non_idle(s(0), TaskId(1), true);
+        t.set_stalled(s(2), TaskId(1), Resource::Memory, true);
+        t.set_stalled(s(5), TaskId(1), Resource::Memory, false);
+        let (some, full) = t.totals(s(10), Resource::Memory);
+        assert_eq!(some, d(3));
+        assert_eq!(full, d(3));
+    }
+
+    #[test]
+    fn a_running_task_suppresses_full() {
+        let mut t = StateTracker::new();
+        t.set_non_idle(s(0), TaskId(1), true);
+        t.set_non_idle(s(0), TaskId(2), true);
+        t.set_stalled(s(1), TaskId(1), Resource::Io, true);
+        t.set_stalled(s(4), TaskId(1), Resource::Io, false);
+        let (some, full) = t.totals(s(10), Resource::Io);
+        assert_eq!(some, d(3));
+        assert_eq!(full, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn full_accrues_only_while_everyone_stalls() {
+        let mut t = StateTracker::new();
+        t.set_non_idle(s(0), TaskId(1), true);
+        t.set_non_idle(s(0), TaskId(2), true);
+        t.set_stalled(s(1), TaskId(1), Resource::Memory, true);
+        t.set_stalled(s(2), TaskId(2), Resource::Memory, true); // both from t=2
+        t.set_stalled(s(4), TaskId(1), Resource::Memory, false); // overlap ends
+        t.set_stalled(s(6), TaskId(2), Resource::Memory, false);
+        let (some, full) = t.totals(s(10), Resource::Memory);
+        assert_eq!(some, d(5)); // [1, 6)
+        assert_eq!(full, d(2)); // [2, 4)
+    }
+
+    #[test]
+    fn idle_tasks_do_not_block_full() {
+        let mut t = StateTracker::new();
+        t.set_non_idle(s(0), TaskId(1), true);
+        t.set_non_idle(s(0), TaskId(2), false); // idle bystander
+        t.set_stalled(s(1), TaskId(1), Resource::Memory, true);
+        t.set_stalled(s(3), TaskId(1), Resource::Memory, false);
+        let (_, full) = t.totals(s(10), Resource::Memory);
+        assert_eq!(full, d(2));
+    }
+
+    #[test]
+    fn going_idle_clears_stalls() {
+        let mut t = StateTracker::new();
+        t.set_non_idle(s(0), TaskId(1), true);
+        t.set_stalled(s(1), TaskId(1), Resource::Memory, true);
+        t.set_non_idle(s(3), TaskId(1), false); // blocks forever, but idle
+        let (some, _) = t.totals(s(100), Resource::Memory);
+        assert_eq!(some, d(2));
+    }
+
+    #[test]
+    fn task_exit_stops_accrual() {
+        let mut t = StateTracker::new();
+        t.set_non_idle(s(0), TaskId(1), true);
+        t.set_stalled(s(0), TaskId(1), Resource::Io, true);
+        t.remove_task(s(5), TaskId(1));
+        let (some, _) = t.totals(s(50), Resource::Io);
+        assert_eq!(some, d(5));
+        assert_eq!(t.task_count(), 0);
+    }
+
+    #[test]
+    fn resources_account_independently() {
+        let mut t = StateTracker::new();
+        t.set_non_idle(s(0), TaskId(1), true);
+        t.set_stalled(s(0), TaskId(1), Resource::Memory, true);
+        t.set_stalled(s(0), TaskId(1), Resource::Io, true);
+        t.set_stalled(s(2), TaskId(1), Resource::Io, false);
+        t.set_stalled(s(5), TaskId(1), Resource::Memory, false);
+        assert_eq!(t.totals(s(10), Resource::Io).0, d(2));
+        assert_eq!(t.totals(s(10), Resource::Memory).0, d(5));
+        assert_eq!(t.totals(s(10), Resource::Cpu).0, SimDuration::ZERO);
+    }
+}

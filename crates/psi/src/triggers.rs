@@ -1,0 +1,217 @@
+//! PSI triggers: event-driven pressure notifications.
+//!
+//! Alongside the running averages, the kernel's PSI interface lets
+//! userspace register *triggers* — "wake me when total stall time within
+//! a `window` exceeds `threshold`" — by writing e.g.
+//! `some 150000 1000000` (150 ms out of every 1 s) to a pressure file
+//! and polling it. Production oomd consumes PSI through triggers rather
+//! than by sampling averages, because triggers catch short spikes the
+//! 10-second average smooths away. This module implements the same
+//! semantics over the simulated stall stream.
+
+use std::collections::VecDeque;
+
+use tmo_sim::{SimDuration, SimTime};
+
+/// Which metric a trigger watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriggerKind {
+    /// Watch the `some` stall total.
+    Some,
+    /// Watch the `full` stall total.
+    Full,
+}
+
+/// One registered trigger.
+#[derive(Debug, Clone)]
+pub struct Trigger {
+    kind: TriggerKind,
+    threshold: SimDuration,
+    window: SimDuration,
+    /// Recent `(time, some_delta, full_delta)` samples inside the window.
+    history: VecDeque<(SimTime, SimDuration, SimDuration)>,
+    /// Sum of the deltas currently inside the window.
+    in_window: SimDuration,
+    /// Earliest time the trigger may fire again.
+    rearm_at: SimTime,
+    fired: u64,
+}
+
+/// The kernel rate-limits trigger wakeups to one per window; we follow.
+impl Trigger {
+    /// Registers a trigger equivalent to writing
+    /// `"<some|full> <threshold_us> <window_us>"` to a pressure file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` exceeds `window` or the window is zero
+    /// (the kernel rejects both).
+    pub fn new(kind: TriggerKind, threshold: SimDuration, window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "trigger window must be non-zero");
+        assert!(
+            threshold <= window,
+            "threshold {threshold} exceeds window {window}"
+        );
+        Trigger {
+            kind,
+            threshold,
+            window,
+            history: VecDeque::new(),
+            in_window: SimDuration::ZERO,
+            rearm_at: SimTime::ZERO,
+            fired: 0,
+        }
+    }
+
+    /// Parses the kernel's trigger registration syntax:
+    /// `"some 150000 1000000"` (microseconds).
+    pub fn parse(line: &str) -> Option<Trigger> {
+        let mut parts = line.split_whitespace();
+        let kind = match parts.next()? {
+            "some" => TriggerKind::Some,
+            "full" => TriggerKind::Full,
+            _ => return None,
+        };
+        let threshold_us: u64 = parts.next()?.parse().ok()?;
+        let window_us: u64 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() || window_us == 0 || threshold_us > window_us {
+            return None;
+        }
+        Some(Trigger::new(
+            kind,
+            SimDuration::from_micros(threshold_us),
+            SimDuration::from_micros(window_us),
+        ))
+    }
+
+    /// The watched metric.
+    pub fn kind(&self) -> TriggerKind {
+        self.kind
+    }
+
+    /// Stall time currently inside the window.
+    pub fn in_window(&self) -> SimDuration {
+        self.in_window
+    }
+
+    /// How many times the trigger has fired.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Feeds one observation window's stall deltas (the per-tick `some`
+    /// and `full` stall time of the domain). Returns `true` when the
+    /// trigger fires: in-window stall crossed the threshold and the
+    /// trigger was armed. After firing it re-arms one window later.
+    pub fn observe(
+        &mut self,
+        now: SimTime,
+        some_delta: SimDuration,
+        full_delta: SimDuration,
+    ) -> bool {
+        self.history.push_back((now, some_delta, full_delta));
+        self.in_window += match self.kind {
+            TriggerKind::Some => some_delta,
+            TriggerKind::Full => full_delta,
+        };
+        // Expire samples older than the window.
+        while let Some(&(t, some_d, full_d)) = self.history.front() {
+            if now.saturating_since(t) < self.window {
+                break;
+            }
+            self.history.pop_front();
+            self.in_window = self.in_window.saturating_sub(match self.kind {
+                TriggerKind::Some => some_d,
+                TriggerKind::Full => full_d,
+            });
+        }
+        if self.in_window >= self.threshold && now >= self.rearm_at {
+            self.fired += 1;
+            self.rearm_at = now + self.window;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    fn at(secs_tenths: u64) -> SimTime {
+        SimTime::from_nanos(secs_tenths * 100_000_000)
+    }
+
+    #[test]
+    fn fires_when_stall_crosses_threshold_within_window() {
+        // 150 ms of `some` stall within any 1 s window.
+        let mut t = Trigger::new(TriggerKind::Some, ms(150), ms(1000));
+        // 100 ms ticks with 20 ms stall each: cumulative 160 ms at the
+        // eighth tick.
+        for i in 1..=7 {
+            assert!(!t.observe(at(i), ms(20), ms(0)), "tick {i}");
+        }
+        assert!(t.observe(at(8), ms(20), ms(0)));
+        assert_eq!(t.fired(), 1);
+    }
+
+    #[test]
+    fn old_stall_expires_out_of_the_window() {
+        let mut t = Trigger::new(TriggerKind::Some, ms(150), ms(1000));
+        // A 100 ms burst, then silence: the burst alone is under
+        // threshold and ages out.
+        t.observe(at(1), ms(100), ms(0));
+        for i in 2..=30 {
+            assert!(!t.observe(at(i), ms(2), ms(0)), "tick {i}");
+        }
+        assert!(t.in_window() <= ms(120));
+        assert_eq!(t.fired(), 0);
+    }
+
+    #[test]
+    fn rearms_only_after_a_full_window() {
+        let mut t = Trigger::new(TriggerKind::Some, ms(100), ms(1000));
+        // Continuous heavy stall: fires at most once per window.
+        let mut fires = 0;
+        for i in 1..=40 {
+            if t.observe(at(i), ms(50), ms(0)) {
+                fires += 1;
+            }
+        }
+        // 4 s of history → at most 4 firings (one per second).
+        assert!(fires <= 4, "fires {fires}");
+        assert!(fires >= 3, "fires {fires}");
+    }
+
+    #[test]
+    fn full_trigger_ignores_some_stall() {
+        let mut t = Trigger::new(TriggerKind::Full, ms(50), ms(1000));
+        for i in 1..=20 {
+            assert!(!t.observe(at(i), ms(100), ms(0)), "tick {i}");
+        }
+        assert!(t.observe(at(21), ms(100), ms(60)));
+    }
+
+    #[test]
+    fn parse_kernel_syntax() {
+        let t = Trigger::parse("some 150000 1000000").expect("valid");
+        assert_eq!(t.kind(), TriggerKind::Some);
+        let t = Trigger::parse("full 50000 500000").expect("valid");
+        assert_eq!(t.kind(), TriggerKind::Full);
+        assert!(Trigger::parse("bogus 1 2").is_none());
+        assert!(Trigger::parse("some 2000000 1000000").is_none()); // threshold > window
+        assert!(Trigger::parse("some 1 0").is_none());
+        assert!(Trigger::parse("some 1 2 3").is_none());
+        assert!(Trigger::parse("some").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn threshold_over_window_panics() {
+        let _ = Trigger::new(TriggerKind::Some, ms(2000), ms(1000));
+    }
+}

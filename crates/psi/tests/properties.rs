@@ -1,0 +1,147 @@
+//! Property-based tests of the PSI interval algebra and accounting
+//! invariants.
+
+use proptest::prelude::*;
+use tmo_psi::{intervals, IntervalSet, PsiGroup, Resource, TaskObservation};
+use tmo_sim::SimDuration;
+
+const WINDOW_NS: u64 = 1_000_000_000;
+
+fn arb_spans() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..WINDOW_NS, 0u64..WINDOW_NS), 0..12)
+}
+
+fn arb_task_spans() -> impl Strategy<Value = Vec<Vec<(u64, u64)>>> {
+    prop::collection::vec(arb_spans(), 1..6)
+}
+
+proptest! {
+    #[test]
+    fn normalisation_is_idempotent(spans in arb_spans()) {
+        let once = IntervalSet::from_spans(&spans);
+        let twice = IntervalSet::from_spans(
+            &once
+                .intervals()
+                .iter()
+                .map(|iv| (iv.start, iv.end))
+                .collect::<Vec<_>>(),
+        );
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn normalised_sets_are_sorted_and_disjoint(spans in arb_spans()) {
+        let set = IntervalSet::from_spans(&spans);
+        let ivs = set.intervals();
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].end < w[1].start, "{} then {}", w[0], w[1]);
+        }
+        for iv in ivs {
+            prop_assert!(iv.start < iv.end);
+        }
+    }
+
+    #[test]
+    fn union_bounds(a in arb_spans(), b in arb_spans()) {
+        let sa = IntervalSet::from_spans(&a);
+        let sb = IntervalSet::from_spans(&b);
+        let u = sa.union(&sb);
+        prop_assert!(u.total_len() >= sa.total_len().max(sb.total_len()));
+        prop_assert!(u.total_len() <= sa.total_len() + sb.total_len());
+    }
+
+    #[test]
+    fn intersection_bounds(a in arb_spans(), b in arb_spans()) {
+        let sa = IntervalSet::from_spans(&a);
+        let sb = IntervalSet::from_spans(&b);
+        let i = sa.intersect(&sb);
+        prop_assert!(i.total_len() <= sa.total_len().min(sb.total_len()));
+    }
+
+    #[test]
+    fn inclusion_exclusion(a in arb_spans(), b in arb_spans()) {
+        let sa = IntervalSet::from_spans(&a);
+        let sb = IntervalSet::from_spans(&b);
+        let u = sa.union(&sb).total_len();
+        let i = sa.intersect(&sb).total_len();
+        prop_assert_eq!(u + i, sa.total_len() + sb.total_len());
+    }
+
+    #[test]
+    fn union_and_intersection_commute(a in arb_spans(), b in arb_spans()) {
+        let sa = IntervalSet::from_spans(&a);
+        let sb = IntervalSet::from_spans(&b);
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        prop_assert_eq!(sa.intersect(&sb), sb.intersect(&sa));
+    }
+
+    #[test]
+    fn clip_never_grows(spans in arb_spans(), limit in 0u64..WINDOW_NS) {
+        let set = IntervalSet::from_spans(&spans);
+        let clipped = set.clip(limit);
+        prop_assert!(clipped.total_len() <= set.total_len());
+        prop_assert!(clipped.total_len() <= limit);
+    }
+
+    #[test]
+    fn psi_full_never_exceeds_some(task_spans in arb_task_spans()) {
+        let mut psi = PsiGroup::new(4);
+        let tasks: Vec<TaskObservation> = task_spans
+            .iter()
+            .map(|spans| {
+                let mut t = TaskObservation::non_idle();
+                t.stall(Resource::Memory, IntervalSet::from_spans(spans));
+                t
+            })
+            .collect();
+        psi.observe(SimDuration::from_nanos(WINDOW_NS), &tasks);
+        let snap = psi.snapshot(Resource::Memory);
+        prop_assert!(snap.full_ratio_last_window <= snap.some_ratio_last_window + 1e-12);
+        prop_assert!(snap.some_ratio_last_window <= 1.0 + 1e-12);
+        prop_assert!(snap.full_total <= snap.some_total);
+    }
+
+    #[test]
+    fn psi_some_total_equals_union_measure(task_spans in arb_task_spans()) {
+        let mut psi = PsiGroup::new(4);
+        let sets: Vec<IntervalSet> = task_spans
+            .iter()
+            .map(|spans| IntervalSet::from_spans(spans).clip(WINDOW_NS))
+            .collect();
+        let tasks: Vec<TaskObservation> = sets
+            .iter()
+            .map(|s| {
+                let mut t = TaskObservation::non_idle();
+                t.stall(Resource::Memory, s.clone());
+                t
+            })
+            .collect();
+        psi.observe(SimDuration::from_nanos(WINDOW_NS), &tasks);
+        let expected = intervals::union_all(sets.iter()).total_len();
+        prop_assert_eq!(
+            psi.snapshot(Resource::Memory).some_total,
+            SimDuration::from_nanos(expected)
+        );
+    }
+
+    #[test]
+    fn adding_an_unstalled_task_kills_full(task_spans in arb_task_spans()) {
+        let mut with_idle_runner = PsiGroup::new(4);
+        let mut tasks: Vec<TaskObservation> = task_spans
+            .iter()
+            .map(|spans| {
+                let mut t = TaskObservation::non_idle();
+                t.stall(Resource::Io, IntervalSet::from_spans(spans));
+                t
+            })
+            .collect();
+        tasks.push(TaskObservation::non_idle()); // never stalls
+        with_idle_runner.observe(SimDuration::from_nanos(WINDOW_NS), &tasks);
+        prop_assert_eq!(
+            with_idle_runner
+                .snapshot(Resource::Io)
+                .full_ratio_last_window,
+            0.0
+        );
+    }
+}

@@ -1,0 +1,319 @@
+//! Size newtypes.
+//!
+//! [`ByteSize`] counts bytes, [`PageCount`] counts pages; keeping them as
+//! distinct types prevents the classic bytes-vs-pages unit confusion in
+//! reclaim math.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A quantity of bytes.
+///
+/// # Example
+///
+/// ```
+/// use tmo_sim::ByteSize;
+///
+/// let sz = ByteSize::from_gib(2);
+/// assert_eq!(sz.as_mib(), 2048.0);
+/// assert_eq!(sz.to_string(), "2.00 GiB");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ByteSize(u64);
+
+/// A quantity of pages (page size is a property of the machine, not of
+/// this type).
+///
+/// # Example
+///
+/// ```
+/// use tmo_sim::{ByteSize, PageCount};
+///
+/// let pages = PageCount::new(256);
+/// assert_eq!(pages.to_bytes(ByteSize::from_kib(4)), ByteSize::from_mib(1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageCount(u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// Creates a size from raw bytes.
+    pub const fn new(bytes: u64) -> Self {
+        ByteSize(bytes)
+    }
+
+    /// Creates a size from KiB.
+    pub const fn from_kib(kib: u64) -> Self {
+        ByteSize(kib * 1024)
+    }
+
+    /// Creates a size from MiB.
+    pub const fn from_mib(mib: u64) -> Self {
+        ByteSize(mib * 1024 * 1024)
+    }
+
+    /// Creates a size from GiB.
+    pub const fn from_gib(gib: u64) -> Self {
+        ByteSize(gib * 1024 * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Size in KiB as a float.
+    pub fn as_kib(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Size in MiB as a float.
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Size in GiB as a float.
+    pub fn as_gib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0 * 1024.0)
+    }
+
+    /// Whether this size is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtraction saturating at zero.
+    pub fn saturating_sub(self, other: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two sizes.
+    pub fn min(self, other: ByteSize) -> ByteSize {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The larger of two sizes.
+    pub fn max(self, other: ByteSize) -> ByteSize {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scales by a non-negative float factor, truncating to whole bytes.
+    pub fn mul_f64(self, factor: f64) -> ByteSize {
+        debug_assert!(factor >= 0.0 && factor.is_finite(), "invalid factor {factor}");
+        ByteSize((self.0 as f64 * factor.max(0.0)) as u64)
+    }
+
+    /// How many whole pages of `page_size` fit in this size (rounding up
+    /// for any remainder, so a partial page counts as one page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn div_ceil_pages(self, page_size: ByteSize) -> PageCount {
+        assert!(!page_size.is_zero(), "page size must be non-zero");
+        PageCount(self.0.div_ceil(page_size.0))
+    }
+}
+
+impl PageCount {
+    /// Zero pages.
+    pub const ZERO: PageCount = PageCount(0);
+
+    /// Creates a count of pages.
+    pub const fn new(pages: u64) -> Self {
+        PageCount(pages)
+    }
+
+    /// Raw page count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Raw page count as usize.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this count is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The byte size of this many pages of `page_size` each.
+    pub const fn to_bytes(self, page_size: ByteSize) -> ByteSize {
+        ByteSize(self.0 * page_size.0)
+    }
+
+    /// Subtraction saturating at zero.
+    pub fn saturating_sub(self, other: PageCount) -> PageCount {
+        PageCount(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two counts.
+    pub fn min(self, other: PageCount) -> PageCount {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+macro_rules! impl_arith {
+    ($ty:ident) => {
+        impl Add for $ty {
+            type Output = $ty;
+            fn add(self, rhs: $ty) -> $ty {
+                $ty(self.0 + rhs.0)
+            }
+        }
+        impl AddAssign for $ty {
+            fn add_assign(&mut self, rhs: $ty) {
+                self.0 += rhs.0;
+            }
+        }
+        impl Sub for $ty {
+            type Output = $ty;
+            fn sub(self, rhs: $ty) -> $ty {
+                $ty(self.0 - rhs.0)
+            }
+        }
+        impl SubAssign for $ty {
+            fn sub_assign(&mut self, rhs: $ty) {
+                self.0 -= rhs.0;
+            }
+        }
+        impl Mul<u64> for $ty {
+            type Output = $ty;
+            fn mul(self, rhs: u64) -> $ty {
+                $ty(self.0 * rhs)
+            }
+        }
+        impl Div<u64> for $ty {
+            type Output = $ty;
+            fn div(self, rhs: u64) -> $ty {
+                $ty(self.0 / rhs)
+            }
+        }
+        impl Div for $ty {
+            /// Ratio of two quantities as a float; dividing by zero
+            /// yields zero.
+            type Output = f64;
+            fn div(self, rhs: $ty) -> f64 {
+                if rhs.0 == 0 {
+                    0.0
+                } else {
+                    self.0 as f64 / rhs.0 as f64
+                }
+            }
+        }
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = $ty>>(iter: I) -> $ty {
+                iter.fold($ty(0), Add::add)
+            }
+        }
+    };
+}
+
+impl_arith!(ByteSize);
+impl_arith!(PageCount);
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const GIB: u64 = 1024 * 1024 * 1024;
+        const MIB: u64 = 1024 * 1024;
+        const KIB: u64 = 1024;
+        if self.0 >= GIB {
+            write!(f, "{:.2} GiB", self.as_gib())
+        } else if self.0 >= MIB {
+            write!(f, "{:.2} MiB", self.as_mib())
+        } else if self.0 >= KIB {
+            write!(f, "{:.2} KiB", self.as_kib())
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+impl fmt::Display for PageCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} pages", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_size_constructors() {
+        assert_eq!(ByteSize::from_kib(1).as_u64(), 1024);
+        assert_eq!(ByteSize::from_mib(1), ByteSize::from_kib(1024));
+        assert_eq!(ByteSize::from_gib(1), ByteSize::from_mib(1024));
+    }
+
+    #[test]
+    fn page_byte_round_trip() {
+        let page = ByteSize::from_kib(4);
+        let sz = ByteSize::from_mib(8);
+        let pages = sz.div_ceil_pages(page);
+        assert_eq!(pages, PageCount::new(2048));
+        assert_eq!(pages.to_bytes(page), sz);
+    }
+
+    #[test]
+    fn div_ceil_rounds_up() {
+        let page = ByteSize::from_kib(4);
+        let sz = ByteSize::new(4097);
+        assert_eq!(sz.div_ceil_pages(page), PageCount::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "page size must be non-zero")]
+    fn div_ceil_zero_page_panics() {
+        let _ = ByteSize::from_mib(1).div_ceil_pages(ByteSize::ZERO);
+    }
+
+    #[test]
+    fn ratio_division() {
+        assert!((ByteSize::from_mib(1) / ByteSize::from_mib(4) - 0.25).abs() < 1e-12);
+        assert_eq!(ByteSize::from_mib(1) / ByteSize::ZERO, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ByteSize::new(512).to_string(), "512 B");
+        assert_eq!(ByteSize::from_kib(4).to_string(), "4.00 KiB");
+        assert_eq!(ByteSize::from_mib(64).to_string(), "64.00 MiB");
+        assert_eq!(ByteSize::from_gib(3).to_string(), "3.00 GiB");
+        assert_eq!(PageCount::new(7).to_string(), "7 pages");
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        assert_eq!(
+            ByteSize::from_kib(1).saturating_sub(ByteSize::from_mib(1)),
+            ByteSize::ZERO
+        );
+        assert_eq!(
+            PageCount::new(3).saturating_sub(PageCount::new(10)),
+            PageCount::ZERO
+        );
+    }
+
+    #[test]
+    fn mul_f64_truncates() {
+        assert_eq!(ByteSize::new(10).mul_f64(0.55), ByteSize::new(5));
+    }
+}

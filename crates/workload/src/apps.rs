@@ -1,0 +1,213 @@
+//! Named application profiles from the paper's figures.
+//!
+//! Coldness rows come from Figure 2 (fractions touched within 1 / 2 / 5
+//! minutes and cold beyond), anonymous/file splits from Figure 4, and
+//! compressibility from §4.1 (Web compresses 4:1; the quantized
+//! byte-encoded ML/Ads-prediction models only 1.3–1.4:1; the fleet
+//! average is 3:1). Where the paper prints a bar without a number, the
+//! value here is read off the plot; where the paper quotes a number
+//! (Feed, Cache B, Web coldness) it is exact.
+//!
+//! Footprints default to 512 MiB so a simulated host carries the same
+//! *shape* at laptop scale; scale with
+//! [`AppProfile::with_mem_total`](crate::AppProfile::with_mem_total).
+
+use tmo_sim::ByteSize;
+
+use crate::profile::AppProfile;
+use crate::temperature::coldness_classes;
+
+/// Default simulated footprint for one application container.
+pub const DEFAULT_FOOTPRINT: ByteSize = ByteSize::from_mib(512);
+
+fn app(
+    name: &str,
+    coldness: (f64, f64, f64, f64),
+    anon_fraction: f64,
+    compress_ratio: f64,
+) -> AppProfile {
+    let (m1, m2, m5, cold) = coldness;
+    AppProfile::new(
+        name,
+        DEFAULT_FOOTPRINT,
+        anon_fraction,
+        compress_ratio,
+        coldness_classes(m1, m2, m5, cold),
+        8,
+    )
+}
+
+/// Ads A: ads serving; well-compressible, mostly anonymous.
+pub fn ads_a() -> AppProfile {
+    app("Ads A", (0.60, 0.08, 0.07, 0.25), 0.75, 3.0)
+}
+
+/// Ads B: ads prediction with quantized byte-encoded models —
+/// compression ratio only 1.35, so SSD is its cost-effective backend.
+pub fn ads_b() -> AppProfile {
+    app("Ads B", (0.50, 0.10, 0.10, 0.30), 0.80, 1.35)
+}
+
+/// Ads C: a third ads service, compressible.
+pub fn ads_c() -> AppProfile {
+    app("Ads C", (0.55, 0.10, 0.07, 0.28), 0.70, 3.0)
+}
+
+/// Analytics: batch analytics with a large cold tail.
+pub fn analytics() -> AppProfile {
+    app("Analytics", (0.30, 0.10, 0.15, 0.45), 0.60, 3.0)
+}
+
+/// Feed: news-feed ranking. Figure 2 quotes this row exactly: 50% used
+/// within 1 min, +8% within 2 min, +12% within 5 min, 30% cold.
+pub fn feed() -> AppProfile {
+    app("Feed", (0.50, 0.08, 0.12, 0.30), 0.65, 3.0)
+}
+
+/// Cache A: in-memory cache, hot.
+pub fn cache_a() -> AppProfile {
+    app("Cache A", (0.55, 0.12, 0.08, 0.25), 0.85, 2.5)
+}
+
+/// Cache B: the hottest app of Figure 2 — 81% of memory active within
+/// 5 minutes, only 19% cold.
+pub fn cache_b() -> AppProfile {
+    app("Cache B", (0.65, 0.10, 0.06, 0.19), 0.85, 2.5)
+}
+
+/// Web: the paper's flagship experiment application. Figure 2: only 38%
+/// of memory active within 5 minutes (62% cold); §4.2: data compresses
+/// 4:1 and the app is sensitive to memory-access slowdown.
+pub fn web() -> AppProfile {
+    app("Web", (0.25, 0.06, 0.07, 0.62), 0.50, 4.0)
+}
+
+/// Video: video processing, dominated by file-backed buffers.
+pub fn video() -> AppProfile {
+    app("Video", (0.45, 0.10, 0.10, 0.35), 0.35, 3.0)
+}
+
+/// RE: poorly compressible; offloaded to SSD in Figure 9.
+pub fn re() -> AppProfile {
+    app("RE", (0.45, 0.10, 0.10, 0.35), 0.70, 1.4)
+}
+
+/// Warehouse: data-warehouse workers, compressible, large cold tail.
+pub fn warehouse() -> AppProfile {
+    app("Warehouse", (0.40, 0.10, 0.12, 0.38), 0.60, 3.0)
+}
+
+/// ML: training/prediction with quantized models (1.3x compressible);
+/// SSD backend.
+pub fn ml() -> AppProfile {
+    app("ML", (0.42, 0.08, 0.10, 0.40), 0.80, 1.3)
+}
+
+/// Reader: content-serving, cold-heavy; SSD backend in Figure 9.
+pub fn reader() -> AppProfile {
+    app("Reader", (0.38, 0.08, 0.12, 0.42), 0.65, 1.4)
+}
+
+/// The seven applications of the Figure 2 coldness characterisation, in
+/// the figure's order.
+pub fn figure2_apps() -> Vec<AppProfile> {
+    vec![
+        ads_a(),
+        ads_b(),
+        analytics(),
+        feed(),
+        cache_a(),
+        cache_b(),
+        web(),
+    ]
+}
+
+/// The eight applications of the Figure 9 savings evaluation with their
+/// production offload backend (`true` = compressed memory, `false` =
+/// SSD), in the figure's order.
+pub fn figure9_apps() -> Vec<(AppProfile, bool)> {
+    vec![
+        (ads_a(), true),
+        (ads_c(), true),
+        (web(), true),
+        (warehouse(), true),
+        (feed(), true),
+        (ads_b(), false),
+        (re(), false),
+        (ml(), false),
+        (reader(), false),
+    ]
+}
+
+/// The applications of the Figure 4 anon/file breakdown, in the
+/// figure's order (taxes are in [`crate::tax`]).
+pub fn figure4_apps() -> Vec<AppProfile> {
+    vec![ads_a(), ads_b(), video(), feed(), cache_a(), re(), web()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_coldness_rows_are_exact() {
+        assert!((feed().cold_fraction() - 0.30).abs() < 1e-9);
+        assert!((cache_b().cold_fraction() - 0.19).abs() < 1e-9);
+        assert!((web().cold_fraction() - 0.62).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_cold_fraction_is_about_35_percent() {
+        // §2.2: "the memory offloading opportunity ... averages about
+        // 35%, but varies wildly ... in a range of 19-62%".
+        let apps = figure2_apps();
+        let avg: f64 =
+            apps.iter().map(|a| a.cold_fraction()).sum::<f64>() / apps.len() as f64;
+        assert!((avg - 0.35).abs() < 0.03, "avg cold {avg}");
+        let min = apps
+            .iter()
+            .map(|a| a.cold_fraction())
+            .fold(f64::INFINITY, f64::min);
+        let max = apps
+            .iter()
+            .map(|a| a.cold_fraction())
+            .fold(0.0, f64::max);
+        assert!((min - 0.19).abs() < 1e-9);
+        assert!((max - 0.62).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ml_and_ads_prediction_compress_poorly() {
+        assert!(ads_b().compress_ratio < 1.5);
+        assert!(ml().compress_ratio < 1.5);
+        assert!((web().compress_ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure9_backends_split_five_four() {
+        let apps = figure9_apps();
+        assert_eq!(apps.len(), 9);
+        assert_eq!(apps.iter().filter(|(_, zswap)| *zswap).count(), 5);
+        // All SSD-backed apps compress poorly — that is *why* they are
+        // on SSD.
+        for (app, zswap) in &apps {
+            if !zswap {
+                assert!(app.compress_ratio < 1.5, "{} on SSD", app.name);
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_have_sane_invariants() {
+        for app in figure2_apps()
+            .into_iter()
+            .chain(figure9_apps().into_iter().map(|(a, _)| a))
+            .chain(figure4_apps())
+        {
+            let frac_sum: f64 = app.classes.iter().map(|c| c.fraction).sum();
+            assert!((frac_sum - 1.0).abs() < 1e-6, "{}", app.name);
+            assert!(app.tasks > 0);
+            assert!(!app.mem_total.is_zero());
+        }
+    }
+}

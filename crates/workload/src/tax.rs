@@ -1,0 +1,91 @@
+//! Datacenter and microservice memory tax (§2.3).
+//!
+//! Beyond workload memory, a fleet host spends memory on infrastructure:
+//! the *datacenter tax* (software deployment, profiling, logging — 13%
+//! of total memory, uniform across workloads) and the *microservice tax*
+//! (routing, proxying, service discovery sidecars — 7% on average).
+//! Both have relaxed performance SLAs, which made them TMO's first
+//! offloading target.
+
+use tmo_sim::{ByteSize, SimDuration};
+
+use crate::profile::AppProfile;
+use crate::temperature::TemperatureClass;
+
+/// Fraction of a server's memory consumed by the datacenter tax
+/// (Figure 3).
+pub const DATACENTER_TAX_FRACTION: f64 = 0.13;
+
+/// Average fraction consumed by the microservice tax (Figure 3).
+pub const MICROSERVICE_TAX_FRACTION: f64 = 0.07;
+
+/// The datacenter-tax sidecar profile for a server with `server_mem`
+/// total memory. Tax memory is mostly idle bookkeeping: 60% of it is
+/// cold past 5 minutes.
+pub fn datacenter_tax(server_mem: ByteSize) -> AppProfile {
+    AppProfile::new(
+        "Datacenter Tax",
+        server_mem.mul_f64(DATACENTER_TAX_FRACTION),
+        0.40, // Figure 4: tax skews file-backed (binaries, logs)
+        3.0,
+        vec![
+            TemperatureClass::new(0.25, SimDuration::from_secs(12)),
+            TemperatureClass::new(0.15, SimDuration::from_secs(150)),
+            TemperatureClass::new(0.60, SimDuration::from_hours(12)),
+        ],
+        4,
+    )
+}
+
+/// The microservice-tax sidecar profile (routing/proxy): busier than the
+/// datacenter tax but still half cold.
+pub fn microservice_tax(server_mem: ByteSize) -> AppProfile {
+    AppProfile::new(
+        "Microservice Tax",
+        server_mem.mul_f64(MICROSERVICE_TAX_FRACTION),
+        0.75, // Figure 4: proxy state is mostly anonymous
+        3.0,
+        vec![
+            TemperatureClass::new(0.35, SimDuration::from_secs(12)),
+            TemperatureClass::new(0.15, SimDuration::from_secs(150)),
+            TemperatureClass::new(0.50, SimDuration::from_hours(12)),
+        ],
+        4,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tax_fractions_match_figure3() {
+        // Figure 3: 13% + 7% = 20% total memory tax.
+        assert!((DATACENTER_TAX_FRACTION + MICROSERVICE_TAX_FRACTION - 0.20).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tax_sizes_scale_with_server_memory() {
+        let server = ByteSize::from_gib(64);
+        let dc = datacenter_tax(server);
+        let micro = microservice_tax(server);
+        assert_eq!(dc.mem_total, server.mul_f64(0.13));
+        assert_eq!(micro.mem_total, server.mul_f64(0.07));
+    }
+
+    #[test]
+    fn tax_is_mostly_cold() {
+        let dc = datacenter_tax(ByteSize::from_gib(64));
+        assert!(dc.cold_fraction() >= 0.5, "dc tax cold {}", dc.cold_fraction());
+        let micro = microservice_tax(ByteSize::from_gib(64));
+        assert!(micro.cold_fraction() >= 0.4);
+    }
+
+    #[test]
+    fn tax_anon_split_differs() {
+        // Datacenter tax skews file-backed; microservice tax anonymous.
+        let server = ByteSize::from_gib(64);
+        assert!(datacenter_tax(server).anon_fraction < 0.5);
+        assert!(microservice_tax(server).anon_fraction > 0.5);
+    }
+}

@@ -1,0 +1,90 @@
+//! Web load test: an A/B comparison of offload backends on a
+//! memory-bound Web host — the Figure 11/12 scenario as a runnable
+//! example.
+//!
+//! ```text
+//! cargo run --release --example web_loadtest
+//! ```
+
+use tmo::prelude::*;
+use tmo_repro::tmo;
+
+/// Runs one tier and reports the RPS trajectory.
+fn run_tier(label: &str, swap: SwapKind, senpai: bool) -> (f64, f64, f64) {
+    let dram = ByteSize::from_mib(512);
+    let mut machine = Machine::new(MachineConfig {
+        dram,
+        swap,
+        seed: 7,
+        ..MachineConfig::default()
+    });
+    // Web's memory profile (§4.2): the file cache loads up front, anon
+    // arrives lazily with traffic, and the total slightly exceeds DRAM.
+    let profile = apps::web().with_mem_total(dram.mul_f64(1.05));
+    let duration = SimDuration::from_mins(6);
+    let growth = profile
+        .anon_bytes()
+        .mul_f64(0.9 / (duration.as_secs_f64() * 0.6));
+    machine.add_container_with(
+        &profile,
+        ContainerConfig {
+            web: Some(WebServerConfig::default()),
+            anon_growth: Some(growth),
+            anon_preload_fraction: 0.1,
+            ..ContainerConfig::default()
+        },
+    );
+    let mut rt = if senpai {
+        TmoRuntime::with_senpai(machine, SenpaiConfig::accelerated(20.0))
+    } else {
+        TmoRuntime::without_controller(machine)
+    };
+    rt.run(duration);
+    let m = rt.machine();
+    let rec = m.recorder();
+    let rps = rec.series("Web.rps").expect("recorded");
+    let horizon = m.now().as_secs_f64();
+    let early = rps.mean_between(0.0, horizon * 0.3);
+    let late = rps.mean_between(horizon * 0.7, horizon);
+    let resident = rec
+        .series("Web.resident_mib")
+        .and_then(|s| s.last())
+        .unwrap_or(0.0);
+    println!(
+        "{label:<28} early RPS {early:6.0}   late RPS {late:6.0}   final resident {resident:6.0} MiB"
+    );
+    (early, late, resident)
+}
+
+fn main() {
+    println!("Web on a memory-bound 512 MiB host, three tiers (6 simulated minutes):\n");
+    let (_, base_late, base_res) = run_tier("baseline (no offload)", SwapKind::None, false);
+    let (_, ssd_late, ssd_res) =
+        run_tier("TMO, SSD model C", SwapKind::Ssd(SsdModel::C), true);
+    let (_, z_late, z_res) = run_tier(
+        "TMO, zswap (zsmalloc)",
+        SwapKind::Zswap {
+            capacity_fraction: 0.3,
+            allocator: ZswapAllocator::Zsmalloc,
+        },
+        true,
+    );
+
+    println!();
+    println!(
+        "late-RPS vs baseline:  SSD {:+.0}%   zswap {:+.0}%",
+        (ssd_late / base_late - 1.0) * 100.0,
+        (z_late / base_late - 1.0) * 100.0
+    );
+    println!(
+        "resident vs baseline:  SSD {:+.1}%   zswap {:+.1}%",
+        (ssd_res / base_res - 1.0) * 100.0,
+        (z_res / base_res - 1.0) * 100.0
+    );
+    println!(
+        "\nAs in the paper's Figure 11: the baseline self-throttles once\n\
+         memory-bound, while TMO offloading eliminates the RPS decay and\n\
+         trims resident memory — more so on zswap, since Web's data\n\
+         compresses 4:1 and zswap faults cost ~40us instead of ~1ms."
+    );
+}

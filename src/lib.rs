@@ -1,0 +1,24 @@
+//! Meta-crate for the TMO (ASPLOS '22) reproduction.
+//!
+//! This crate re-exports the entire reproduction stack so integration
+//! tests and examples at the repository root can reach every layer
+//! through one dependency:
+//!
+//! * [`tmo`] — the top-level library (machines, containers, runtime,
+//!   A/B harness, cost model, fleet aggregation).
+//! * [`tmo_sim`] — simulation substrate (clock, RNG, units, series).
+//! * [`tmo_psi`] — Pressure Stall Information engine.
+//! * [`tmo_mm`] — kernel memory-management substrate.
+//! * [`tmo_backends`] — offload backend device models.
+//! * [`tmo_workload`] — synthetic workload and application profiles.
+//! * [`tmo_senpai`] — the Senpai userspace controller.
+//! * [`tmo_gswap`] — the g-swap promotion-rate baseline controller.
+
+pub use tmo;
+pub use tmo_backends;
+pub use tmo_gswap;
+pub use tmo_mm;
+pub use tmo_psi;
+pub use tmo_senpai;
+pub use tmo_sim;
+pub use tmo_workload;
