@@ -165,8 +165,7 @@ mod tests {
 
     #[test]
     fn device_names_are_distinct() {
-        let names: Vec<String> =
-            SsdModel::ALL.iter().map(|m| m.spec().name).collect();
+        let names: Vec<String> = SsdModel::ALL.iter().map(|m| m.spec().name).collect();
         let mut dedup = names.clone();
         dedup.sort();
         dedup.dedup();

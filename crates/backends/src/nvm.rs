@@ -143,12 +143,23 @@ mod tests {
         let mut rng = DetRng::seed_from_u64(2);
         let page = ByteSize::from_kib(4);
         let n = 3000;
-        let mean = |lats: Vec<SimDuration>| {
-            lats.iter().map(|d| d.as_secs_f64()).sum::<f64>() / n as f64
-        };
-        let nvm_mean = mean((0..n).map(|_| nvm.access(IoKind::Read, page, &mut rng)).collect());
-        let z_mean = mean((0..n).map(|_| zswap.access(IoKind::Read, page, &mut rng)).collect());
-        let s_mean = mean((0..n).map(|_| ssd.access(IoKind::Read, page, &mut rng)).collect());
+        let mean =
+            |lats: Vec<SimDuration>| lats.iter().map(|d| d.as_secs_f64()).sum::<f64>() / n as f64;
+        let nvm_mean = mean(
+            (0..n)
+                .map(|_| nvm.access(IoKind::Read, page, &mut rng))
+                .collect(),
+        );
+        let z_mean = mean(
+            (0..n)
+                .map(|_| zswap.access(IoKind::Read, page, &mut rng))
+                .collect(),
+        );
+        let s_mean = mean(
+            (0..n)
+                .map(|_| ssd.access(IoKind::Read, page, &mut rng))
+                .collect(),
+        );
         assert!(nvm_mean < z_mean, "nvm {nvm_mean} zswap {z_mean}");
         assert!(z_mean < s_mean, "zswap {z_mean} ssd {s_mean}");
     }
@@ -157,7 +168,9 @@ mod tests {
     fn store_load_round_trip() {
         let mut nvm = NvmDevice::new(ByteSize::from_kib(8));
         let mut rng = DetRng::seed_from_u64(3);
-        let out = nvm.store(ByteSize::from_kib(4), 2.0, &mut rng).expect("fits");
+        let out = nvm
+            .store(ByteSize::from_kib(4), 2.0, &mut rng)
+            .expect("fits");
         assert!(nvm.load(out.token, &mut rng).is_some());
         assert!(nvm.load(out.token, &mut rng).is_none());
     }

@@ -146,8 +146,8 @@ impl SsdDevice {
     /// approximation `WA = 1 / (1 - u_eff)` with
     /// `u_eff = utilisation × (1 − op)`, capped.
     pub fn write_amplification(&self) -> f64 {
-        let utilization = self.stats.bytes_stored.as_u64() as f64
-            / self.spec.capacity.as_u64().max(1) as f64;
+        let utilization =
+            self.stats.bytes_stored.as_u64() as f64 / self.spec.capacity.as_u64().max(1) as f64;
         let u_eff = utilization * (1.0 - self.spec.op_fraction);
         (1.0 / (1.0 - u_eff.min(0.99))).min(WA_CAP)
     }
@@ -189,8 +189,7 @@ impl OffloadBackend for SsdDevice {
                 self.stats.writes += 1;
                 self.stats.bytes_written += bytes;
                 self.write_bytes_this_tick += bytes.as_u64();
-                self.media_bytes_written +=
-                    bytes.as_u64() as f64 * self.write_amplification();
+                self.media_bytes_written += bytes.as_u64() as f64 * self.write_amplification();
             }
         }
         let base = self.draw_latency(kind, rng);
@@ -320,7 +319,9 @@ mod tests {
     fn discard_frees_capacity() {
         let mut ssd = SsdDevice::new(test_spec());
         let mut rng = DetRng::seed_from_u64(3);
-        let out = ssd.store(ByteSize::from_kib(4), 1.0, &mut rng).expect("fits");
+        let out = ssd
+            .store(ByteSize::from_kib(4), 1.0, &mut rng)
+            .expect("fits");
         assert!(ssd.discard(out.token));
         assert!(!ssd.discard(out.token));
         assert_eq!(ssd.available(), ssd.capacity());
@@ -352,11 +353,17 @@ mod tests {
         let mut rng = DetRng::seed_from_u64(5);
         let n = 5000;
         let read_mean: f64 = (0..n)
-            .map(|_| ssd.access(IoKind::Read, ByteSize::from_kib(4), &mut rng).as_secs_f64())
+            .map(|_| {
+                ssd.access(IoKind::Read, ByteSize::from_kib(4), &mut rng)
+                    .as_secs_f64()
+            })
             .sum::<f64>()
             / n as f64;
         let write_mean: f64 = (0..n)
-            .map(|_| ssd.access(IoKind::Write, ByteSize::from_kib(4), &mut rng).as_secs_f64())
+            .map(|_| {
+                ssd.access(IoKind::Write, ByteSize::from_kib(4), &mut rng)
+                    .as_secs_f64()
+            })
             .sum::<f64>()
             / n as f64;
         assert!(write_mean > read_mean);

@@ -140,8 +140,7 @@ impl TieredBackend {
             .entries
             .iter()
             .filter(|(_, e)| {
-                e.tier == Tier::Warm
-                    && self.clock.saturating_sub(e.stored_at) >= self.demote_after
+                e.tier == Tier::Warm && self.clock.saturating_sub(e.stored_at) >= self.demote_after
             })
             .map(|(&t, _)| t)
             .collect();
@@ -190,10 +189,16 @@ impl OffloadBackend for TieredBackend {
             match self.warm.store(page_bytes, compress_ratio, rng) {
                 Some(out) => (Tier::Warm, out),
                 // Warm tier full: overflow to the SSD.
-                None => (Tier::Cold, self.cold.store(page_bytes, compress_ratio, rng)?),
+                None => (
+                    Tier::Cold,
+                    self.cold.store(page_bytes, compress_ratio, rng)?,
+                ),
             }
         } else {
-            (Tier::Cold, self.cold.store(page_bytes, compress_ratio, rng)?)
+            (
+                Tier::Cold,
+                self.cold.store(page_bytes, compress_ratio, rng)?,
+            )
         };
         let token = self.next_token;
         self.next_token += 1;
@@ -253,8 +258,14 @@ impl OffloadBackend for TieredBackend {
     }
 
     fn available(&self) -> ByteSize {
-        let w = self.warm.capacity().saturating_sub(self.warm.stats().bytes_stored);
-        let c = self.cold.capacity().saturating_sub(self.cold.stats().bytes_stored);
+        let w = self
+            .warm
+            .capacity()
+            .saturating_sub(self.warm.stats().bytes_stored);
+        let c = self
+            .cold
+            .capacity()
+            .saturating_sub(self.cold.stats().bytes_stored);
         w + c
     }
 

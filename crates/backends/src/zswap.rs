@@ -115,8 +115,7 @@ impl ZswapPool {
     pub fn new(capacity: ByteSize, allocator: ZswapAllocator) -> Self {
         let sigma = 0.35f64;
         // p90 = median * exp(Z90 * sigma)  =>  median = p90 / exp(...)
-        let read_median =
-            SimDuration::from_secs_f64(40e-6 / (Z90 * sigma).exp());
+        let read_median = SimDuration::from_secs_f64(40e-6 / (Z90 * sigma).exp());
         ZswapPool {
             name: format!("zswap-{allocator}"),
             capacity,

@@ -11,8 +11,8 @@ const PAGE: ByteSize = ByteSize::from_kib(4);
 
 #[derive(Debug, Clone)]
 enum Op {
-    Store(u8),  // compressibility class index
-    Load(u16),  // index into live tokens
+    Store(u8), // compressibility class index
+    Load(u16), // index into live tokens
     Discard(u16),
     Tick,
 }
@@ -33,7 +33,10 @@ fn ratios() -> [f64; 4] {
 fn backends() -> Vec<Box<dyn OffloadBackend>> {
     vec![
         Box::new(catalog::fleet_device(SsdModel::C)),
-        Box::new(ZswapPool::new(ByteSize::from_mib(4), ZswapAllocator::Zsmalloc)),
+        Box::new(ZswapPool::new(
+            ByteSize::from_mib(4),
+            ZswapAllocator::Zsmalloc,
+        )),
         Box::new(ZswapPool::new(ByteSize::from_mib(4), ZswapAllocator::Zbud)),
         Box::new(NvmDevice::new(ByteSize::from_mib(4))),
         Box::new(TieredBackend::new(

@@ -47,9 +47,7 @@ fn psi_observe(c: &mut Criterion) {
         let sets: Vec<IntervalSet> = (0..64u64)
             .map(|i| IntervalSet::from_spans(&[(i * 1000, i * 1000 + 1500)]))
             .collect();
-        b.iter(|| {
-            black_box(tmo_psi::intervals::union_all(black_box(&sets)).total_len())
-        })
+        b.iter(|| black_box(tmo_psi::intervals::union_all(black_box(&sets)).total_len()))
     });
     group.finish();
 }
@@ -208,6 +206,29 @@ fn machine_tick(c: &mut Criterion) {
     group.finish();
 }
 
+fn fleet_runner_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    // The same 8-host fleet sequentially and sharded: the gap is the
+    // runner's parallel speedup; results are bit-identical either way.
+    for jobs in [1usize, 4] {
+        group.bench_function(format!("run_8_hosts_jobs_{jobs}"), |b| {
+            let runner = tmo::runner::FleetRunner::new(jobs);
+            b.iter(|| {
+                let ticks = runner.run_seeded(5, 8, |host| {
+                    let mut machine = tmo_bench::bench_machine(host.seed);
+                    for _ in 0..10 {
+                        machine.tick();
+                    }
+                    machine.now()
+                });
+                black_box(ticks)
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     micro,
     psi_observe,
@@ -217,6 +238,7 @@ criterion_group!(
     mm_paths,
     backend_latency,
     rng_sampling,
-    machine_tick
+    machine_tick,
+    fleet_runner_scaling
 );
 criterion_main!(micro);

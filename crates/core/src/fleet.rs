@@ -130,13 +130,12 @@ pub fn app_savings(machine: &Machine, id: ContainerId) -> AppSavings {
     let c = machine.container(id);
     let stat = machine.mm().cgroup_stat(c.cgroup());
     let page = machine.config().page_size;
-    let initial = ByteSize::new(
-        machine.container(id).profile().mem_total.as_u64().max(1),
-    );
+    let initial = ByteSize::new(machine.container(id).profile().mem_total.as_u64().max(1));
     let offloaded = stat.anon_offloaded.to_bytes(page);
     let anon_net = match machine.mm().swap_kind() {
-        Some(tmo_backends::BackendKind::Zswap) => offloaded
-            .saturating_sub(offloaded.mul_f64(1.0 / c.profile().compress_ratio.max(1.0))),
+        Some(tmo_backends::BackendKind::Zswap) => {
+            offloaded.saturating_sub(offloaded.mul_f64(1.0 / c.profile().compress_ratio.max(1.0)))
+        }
         _ => offloaded,
     };
     let file = stat.file_evicted.to_bytes(page);
@@ -191,5 +190,105 @@ mod tests {
             file_fraction: 0.05,
         };
         assert!((s.total() - 0.13).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_server_mem_host_yields_zero_fractions_not_nan() {
+        // A host whose MM reports no DRAM (e.g. a misconfigured or
+        // still-provisioning machine) must not poison fleet means.
+        let degenerate = HostSavings {
+            server_mem: ByteSize::ZERO,
+            workload_saved: ByteSize::from_mib(64),
+            datacenter_tax_saved: ByteSize::from_mib(8),
+            microservice_tax_saved: ByteSize::ZERO,
+        };
+        assert_eq!(degenerate.total_fraction(), 0.0);
+        assert_eq!(degenerate.tax_fraction(), 0.0);
+        let summary = summarize(&[degenerate, host(100, 10, 9, 4)]);
+        assert!(summary.total_fraction.is_finite());
+        assert!((summary.total_fraction - 0.23 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_host_summarize_is_that_hosts_fractions() {
+        let h = host(128, 16, 8, 4);
+        let summary = summarize(&[h]);
+        assert_eq!(summary.hosts, 1);
+        assert_eq!(summary.total_fraction, h.total_fraction());
+        assert_eq!(summary.workload_fraction, h.workload_saved / h.server_mem);
+        assert_eq!(
+            summary.datacenter_tax_fraction,
+            h.datacenter_tax_saved / h.server_mem
+        );
+        assert_eq!(
+            summary.microservice_tax_fraction,
+            h.microservice_tax_saved / h.server_mem
+        );
+    }
+
+    fn offloading_machine(swap: crate::machine::SwapKind) -> (Machine, ContainerId) {
+        use tmo_workload::apps;
+        let dram = ByteSize::from_mib(128);
+        let mut machine = Machine::new(crate::machine::MachineConfig {
+            dram,
+            swap,
+            seed: 4242,
+            ..crate::machine::MachineConfig::default()
+        });
+        let id = machine.add_container(&apps::feed().with_mem_total(ByteSize::from_mib(64)));
+        let runtime = crate::runtime::TmoRuntime::with_senpai(
+            machine,
+            tmo_senpai::SenpaiConfig::accelerated(40.0),
+        );
+        let mut runtime = runtime;
+        runtime.run(tmo_sim::SimDuration::from_mins(2));
+        (runtime.into_machine(), id)
+    }
+
+    #[test]
+    fn app_savings_deducts_zswap_pool_cost() {
+        let (machine, id) = offloading_machine(crate::machine::SwapKind::Zswap {
+            capacity_fraction: 0.3,
+            allocator: tmo_backends::ZswapAllocator::Zsmalloc,
+        });
+        let c = machine.container(id);
+        let stat = machine.mm().cgroup_stat(c.cgroup());
+        let page = machine.config().page_size;
+        let offloaded = stat.anon_offloaded.to_bytes(page);
+        assert!(offloaded > ByteSize::ZERO, "senpai offloaded something");
+        let initial = c.profile().mem_total;
+        let ratio = c.profile().compress_ratio;
+        assert!(ratio > 1.0);
+        // Net accounting: the compressed pool still occupies
+        // offloaded/ratio bytes of DRAM, so only the remainder counts.
+        let expected = offloaded.saturating_sub(offloaded.mul_f64(1.0 / ratio)) / initial;
+        let savings = app_savings(&machine, id);
+        assert!(
+            (savings.anon_fraction - expected).abs() < 1e-12,
+            "anon {} vs expected {}",
+            savings.anon_fraction,
+            expected
+        );
+        // The deduction is material: strictly less than gross offload.
+        assert!(savings.anon_fraction < offloaded / initial);
+    }
+
+    #[test]
+    fn app_savings_counts_gross_offload_on_ssd() {
+        let (machine, id) =
+            offloading_machine(crate::machine::SwapKind::Ssd(tmo_backends::SsdModel::C));
+        let c = machine.container(id);
+        let stat = machine.mm().cgroup_stat(c.cgroup());
+        let page = machine.config().page_size;
+        let offloaded = stat.anon_offloaded.to_bytes(page);
+        assert!(offloaded > ByteSize::ZERO, "senpai offloaded something");
+        let savings = app_savings(&machine, id);
+        let expected = offloaded / c.profile().mem_total;
+        assert!(
+            (savings.anon_fraction - expected).abs() < 1e-12,
+            "ssd pages cost no DRAM: anon {} vs gross {}",
+            savings.anon_fraction,
+            expected
+        );
     }
 }

@@ -51,16 +51,19 @@ pub mod container;
 pub mod cost;
 pub mod fleet;
 pub mod machine;
+pub mod runner;
 pub mod runtime;
 
 pub use container::{ContainerConfig, ContainerId};
 pub use machine::{Machine, MachineConfig, SwapKind, WorkingsetProfile};
+pub use runner::{FleetError, FleetRunner, FleetStats, HostCtx};
 pub use runtime::{ControllerKind, TmoRuntime};
 
 /// Convenient glob-import surface for examples and experiments.
 pub mod prelude {
     pub use crate::container::{ContainerConfig, ContainerId};
     pub use crate::machine::{Machine, MachineConfig, SwapKind};
+    pub use crate::runner::{FleetRunner, FleetStats, HostCtx};
     pub use crate::runtime::{ControllerKind, TmoRuntime};
     pub use tmo_backends::{SsdModel, ZswapAllocator};
     pub use tmo_gswap::GswapConfig;
@@ -68,7 +71,5 @@ pub mod prelude {
     pub use tmo_psi::Resource;
     pub use tmo_senpai::{OomdConfig, PolicyMap, SenpaiConfig};
     pub use tmo_sim::{ByteSize, SimDuration, SimTime};
-    pub use tmo_workload::{
-        apps, tax, AccessTrace, AppProfile, DiurnalPattern, WebServerConfig,
-    };
+    pub use tmo_workload::{apps, tax, AccessTrace, AppProfile, DiurnalPattern, WebServerConfig};
 }

@@ -149,9 +149,7 @@ impl Machine {
         let mut seed_rng = DetRng::seed_from_u64(config.seed);
         let swap: Option<Box<dyn OffloadBackend>> = match &config.swap {
             SwapKind::None => None,
-            SwapKind::Ssd(model) => {
-                Some(Box::new(tmo_backends::catalog::fleet_device(*model)))
-            }
+            SwapKind::Ssd(model) => Some(Box::new(tmo_backends::catalog::fleet_device(*model))),
             SwapKind::SsdCapped(model, capacity) => {
                 let mut spec = model.spec();
                 spec.capacity = *capacity;
@@ -354,7 +352,10 @@ impl Machine {
                     .mm
                     .alloc_pages(cg, PageKind::Anon, anon_now, now)
                     .unwrap_or_else(|e| {
-                        panic!("initial anon allocation failed for {} class {ci}: {e}", profile.name)
+                        panic!(
+                            "initial anon allocation failed for {} class {ci}: {e}",
+                            profile.name
+                        )
                     });
                 pages.extend(out.pages);
                 anon_allocated += anon_now;
@@ -364,7 +365,10 @@ impl Machine {
                     .mm
                     .alloc_pages(cg, PageKind::File, file_now, now)
                     .unwrap_or_else(|e| {
-                        panic!("initial file allocation failed for {} class {ci}: {e}", profile.name)
+                        panic!(
+                            "initial file allocation failed for {} class {ci}: {e}",
+                            profile.name
+                        )
                     });
                 pages.extend(out.pages);
             }
@@ -491,10 +495,7 @@ impl Machine {
                             .map(|c| c.fraction)
                             .collect();
                         for page in out.pages {
-                            let class = self
-                                .rng
-                                .weighted_index(&fractions)
-                                .unwrap_or(0);
+                            let class = self.rng.weighted_index(&fractions).unwrap_or(0);
                             self.containers[ci].class_pages[class].push(page);
                         }
                     }
@@ -599,10 +600,13 @@ impl Machine {
             } else {
                 0.0
             };
-            let mean_stall = SimDuration::from_secs_f64(
-                per_access * web.config().pages_per_request as f64,
-            );
-            let headroom = if stats.alloc_failed { 0.0 } else { free_fraction };
+            let mean_stall =
+                SimDuration::from_secs_f64(per_access * web.config().pages_per_request as f64);
+            let headroom = if stats.alloc_failed {
+                0.0
+            } else {
+                free_fraction
+            };
             web.observe(mean_stall, headroom);
         }
 
@@ -615,12 +619,7 @@ impl Machine {
     /// (and thus `full`) emerges statistically rather than by
     /// construction. Returns the observations so the caller can also
     /// aggregate them into the machine-wide domain.
-    fn feed_psi(
-        &mut self,
-        ci: usize,
-        stats: &TickStats,
-        dt: SimDuration,
-    ) -> Vec<TaskObservation> {
+    fn feed_psi(&mut self, ci: usize, stats: &TickStats, dt: SimDuration) -> Vec<TaskObservation> {
         let tasks = self.containers[ci].profile.tasks.max(1) as u64;
         let window_ns = dt.as_nanos();
         let mut observations = Vec::with_capacity(tasks as usize);
@@ -783,11 +782,8 @@ impl Machine {
         let outcome = self.mm.reclaim(c.cg, bytes);
         self.containers[id.0].swap_full_seen = outcome.swap_full;
         let now = self.clock.now();
-        self.recorder.record(
-            &format!("{name}.reclaim_mib"),
-            now,
-            bytes.as_mib(),
-        );
+        self.recorder
+            .record(&format!("{name}.reclaim_mib"), now, bytes.as_mib());
         self.recorder.record(
             &format!("{name}.reclaimed_pages"),
             now,
@@ -1095,10 +1091,7 @@ mod tests {
         let after = m.mm().cgroup_stat(cg).file_resident;
         // ~60 MiB of junk file cache accumulated on top of the profile.
         let grown = (after - before).to_bytes(m.config().page_size);
-        assert!(
-            grown >= ByteSize::from_mib(55),
-            "churn grew only {grown}"
-        );
+        assert!(grown >= ByteSize::from_mib(55), "churn grew only {grown}");
         // A proactive reclaim sweeps the never-read pages first; the
         // following ticks then drop their page structs entirely.
         m.reclaim(id, ByteSize::from_mib(60));
@@ -1119,10 +1112,7 @@ mod tests {
         });
         let id = m.add_container(&small_profile());
         assert!(m.workingset_profile(id, 0.5).is_none(), "no samples yet");
-        let mut rt = crate::TmoRuntime::with_senpai(
-            m,
-            tmo_senpai::SenpaiConfig::accelerated(40.0),
-        );
+        let mut rt = crate::TmoRuntime::with_senpai(m, tmo_senpai::SenpaiConfig::accelerated(40.0));
         rt.run(SimDuration::from_mins(3));
         let m = rt.machine();
         let profile = m.workingset_profile(id, 0.5).expect("recorded");

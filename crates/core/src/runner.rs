@@ -1,0 +1,479 @@
+//! Deterministic parallel fleet execution.
+//!
+//! The paper's headline numbers are fleet aggregates over millions of
+//! hosts; the reproduction simulates a representative set of hosts and
+//! aggregates their [`HostSavings`](crate::fleet::HostSavings). A
+//! [`FleetRunner`] shards those per-host simulations across a worker
+//! pool while keeping the output **bit-identical to a sequential run**:
+//!
+//! * every host's RNG seed is a pure function of
+//!   `(experiment_seed, host_index)` via
+//!   [`tmo_sim::derive_host_seed`] — no worker ever advances another
+//!   host's stream;
+//! * results are reduced in host-index order, so scheduling order
+//!   cannot leak into the output;
+//! * a panicking host surfaces as a [`FleetError`] naming the host
+//!   instead of hanging or poisoning the pool.
+//!
+//! Wall-clock accounting per shard is reported through [`FleetStats`]
+//! so callers (the `repro --jobs N` CLI) can show where time went.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use tmo_sim::derive_host_seed;
+
+/// Per-host context handed to the simulation closure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostCtx {
+    /// The host's index in `0..hosts`, which is also its position in the
+    /// result vector.
+    pub index: usize,
+    /// The host's machine seed, derived from
+    /// `(experiment_seed, host_index)`.
+    pub seed: u64,
+}
+
+/// A host simulation panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetError {
+    /// Index of the first (lowest-index) host that failed.
+    pub host: usize,
+    /// The panic payload, if it was a string.
+    pub message: String,
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fleet host {} panicked: {}", self.host, self.message)
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Where the wall-clock went during one fleet run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Total hosts simulated.
+    pub hosts: usize,
+    /// Worker threads used (1 = sequential).
+    pub jobs: usize,
+    /// Hosts completed by each shard; sums to `hosts`.
+    pub shard_hosts: Vec<usize>,
+    /// Wall-clock each shard spent inside host simulations.
+    pub shard_busy: Vec<Duration>,
+    /// End-to-end wall-clock of the run, including merge.
+    pub wall: Duration,
+}
+
+impl FleetStats {
+    /// Sum of per-shard busy time — the sequential-equivalent cost.
+    pub fn total_busy(&self) -> Duration {
+        self.shard_busy.iter().sum()
+    }
+
+    /// Parallel speedup actually achieved: busy time over wall time.
+    pub fn speedup(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 1.0;
+        }
+        self.total_busy().as_secs_f64() / self.wall.as_secs_f64()
+    }
+
+    /// One-line human summary, e.g. for experiment output footers.
+    pub fn summary_line(&self) -> String {
+        let shards: Vec<String> = self
+            .shard_hosts
+            .iter()
+            .zip(&self.shard_busy)
+            .map(|(hosts, busy)| format!("{hosts} hosts/{:.2}s", busy.as_secs_f64()))
+            .collect();
+        format!(
+            "fleet: {} hosts on {} worker(s) in {:.2}s ({:.2}x speedup) [{}]",
+            self.hosts,
+            self.jobs,
+            self.wall.as_secs_f64(),
+            self.speedup(),
+            shards.join(", ")
+        )
+    }
+}
+
+/// Shards per-host simulations across a worker pool with deterministic,
+/// host-index-ordered reduction.
+///
+/// # Determinism
+///
+/// For a fixed `(experiment_seed, hosts, f)`, the result vector is
+/// bit-identical for every `jobs` value: seeds depend only on the host
+/// index, and results are merged by host index. The closure `f` must
+/// itself be a pure function of its [`HostCtx`] (true for `Machine`
+/// simulations, which draw only from their seeded [`tmo_sim::DetRng`]).
+///
+/// # Example
+///
+/// ```
+/// use tmo::runner::FleetRunner;
+///
+/// let parallel = FleetRunner::new(4);
+/// let sequential = FleetRunner::sequential();
+/// let f = |host: tmo::runner::HostCtx| host.seed.wrapping_mul(host.index as u64 + 1);
+/// assert_eq!(
+///     parallel.run_seeded(7, 100, f),
+///     sequential.run_seeded(7, 100, f),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetRunner {
+    jobs: usize,
+}
+
+impl Default for FleetRunner {
+    /// A runner sized to the machine (`available_parallelism`).
+    fn default() -> Self {
+        FleetRunner::auto()
+    }
+}
+
+impl FleetRunner {
+    /// A runner with `jobs` worker threads. `jobs == 0` means "size to
+    /// the machine", like `make -j`.
+    pub fn new(jobs: usize) -> Self {
+        if jobs == 0 {
+            return FleetRunner::auto();
+        }
+        FleetRunner { jobs }
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    pub fn auto() -> Self {
+        let jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        FleetRunner { jobs }
+    }
+
+    /// The degenerate single-worker runner: runs hosts inline on the
+    /// calling thread, in order.
+    pub fn sequential() -> Self {
+        FleetRunner { jobs: 1 }
+    }
+
+    /// Worker threads this runner will use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The machine seed for `host_index` under `experiment_seed` — the
+    /// exact mapping `run_seeded` uses.
+    pub fn host_seed(experiment_seed: u64, host_index: usize) -> u64 {
+        derive_host_seed(experiment_seed, host_index as u64)
+    }
+
+    /// Runs `hosts` simulations with seeds derived from
+    /// `experiment_seed`, returning results in host-index order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first (lowest-index) host panic, naming the host.
+    pub fn run_seeded<T, F>(&self, experiment_seed: u64, hosts: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(HostCtx) -> T + Sync,
+    {
+        match self.try_run_seeded(experiment_seed, hosts, f) {
+            Ok((results, _)) => results,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`FleetRunner::run_seeded`], but also returns shard stats
+    /// and surfaces host panics as a [`FleetError`].
+    pub fn try_run_seeded<T, F>(
+        &self,
+        experiment_seed: u64,
+        hosts: usize,
+        f: F,
+    ) -> Result<(Vec<T>, FleetStats), FleetError>
+    where
+        T: Send,
+        F: Fn(HostCtx) -> T + Sync,
+    {
+        self.execute(hosts, f, move |index| {
+            FleetRunner::host_seed(experiment_seed, index)
+        })
+    }
+
+    /// Runs `hosts` index-only shards (no seed derivation) in
+    /// host-index order — for fan-out over heterogeneous work items that
+    /// carry their own seeds.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first (lowest-index) host panic, naming the host.
+    pub fn run<T, F>(&self, hosts: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        match self.try_run(hosts, f) {
+            Ok((results, _)) => results,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Like [`FleetRunner::run`], but also returns shard stats and
+    /// surfaces host panics as a [`FleetError`].
+    pub fn try_run<T, F>(&self, hosts: usize, f: F) -> Result<(Vec<T>, FleetStats), FleetError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.execute(hosts, move |ctx| f(ctx.index), |index| index as u64)
+    }
+
+    fn execute<T, F, S>(
+        &self,
+        hosts: usize,
+        f: F,
+        seed_of: S,
+    ) -> Result<(Vec<T>, FleetStats), FleetError>
+    where
+        T: Send,
+        F: Fn(HostCtx) -> T + Sync,
+        S: Fn(usize) -> u64 + Sync,
+    {
+        let start = Instant::now();
+        let jobs = self.jobs.min(hosts).max(1);
+        let run_host = |index: usize| -> Result<T, FleetError> {
+            let ctx = HostCtx {
+                index,
+                seed: seed_of(index),
+            };
+            catch_unwind(AssertUnwindSafe(|| f(ctx))).map_err(|payload| FleetError {
+                host: index,
+                message: panic_message(payload.as_ref()),
+            })
+        };
+
+        if jobs == 1 {
+            let mut results = Vec::with_capacity(hosts);
+            let mut busy = Duration::ZERO;
+            for index in 0..hosts {
+                let host_start = Instant::now();
+                let result = run_host(index);
+                busy += host_start.elapsed();
+                results.push(result?);
+            }
+            let stats = FleetStats {
+                hosts,
+                jobs: 1,
+                shard_hosts: vec![hosts],
+                shard_busy: vec![busy],
+                wall: start.elapsed(),
+            };
+            return Ok((results, stats));
+        }
+
+        // Work-stealing by atomic counter: each worker pulls the next
+        // unclaimed host index. The *claim* order is scheduling-
+        // dependent, but seeds depend only on the index and the merge
+        // below restores index order, so results are not.
+        let next = AtomicUsize::new(0);
+        let shards: Vec<ShardOutcome<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let next = &next;
+                    let run_host = &run_host;
+                    scope.spawn(move || {
+                        let mut completed = Vec::new();
+                        let mut busy = Duration::ZERO;
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            if index >= hosts {
+                                break;
+                            }
+                            let host_start = Instant::now();
+                            let result = run_host(index);
+                            busy += host_start.elapsed();
+                            let failed = result.is_err();
+                            completed.push((index, result));
+                            if failed {
+                                // Stop claiming work; other shards keep
+                                // draining so the scope joins promptly.
+                                break;
+                            }
+                        }
+                        ShardOutcome { completed, busy }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fleet worker panics are caught per host"))
+                .collect()
+        });
+
+        let mut stats = FleetStats {
+            hosts,
+            jobs,
+            shard_hosts: Vec::with_capacity(jobs),
+            shard_busy: Vec::with_capacity(jobs),
+            wall: Duration::ZERO,
+        };
+        let mut slots: Vec<Option<T>> = (0..hosts).map(|_| None).collect();
+        let mut first_error: Option<FleetError> = None;
+        for shard in shards {
+            stats.shard_hosts.push(shard.completed.len());
+            stats.shard_busy.push(shard.busy);
+            for (index, result) in shard.completed {
+                match result {
+                    Ok(value) => slots[index] = Some(value),
+                    Err(e) => {
+                        if first_error.as_ref().is_none_or(|f| e.host < f.host) {
+                            first_error = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        let results = slots
+            .into_iter()
+            .map(|slot| slot.expect("every host index was claimed exactly once"))
+            .collect();
+        stats.wall = start.elapsed();
+        Ok((results, stats))
+    }
+}
+
+struct ShardOutcome<T> {
+    completed: Vec<(usize, Result<T, FleetError>)>,
+    busy: Duration,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_host_index_order_with_hosts_far_exceeding_workers() {
+        let runner = FleetRunner::new(4);
+        let (results, stats) = runner
+            .try_run(257, |index| index * 3)
+            .expect("no host panics");
+        assert_eq!(results, (0..257).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(stats.hosts, 257);
+        assert_eq!(stats.jobs, 4);
+        assert_eq!(stats.shard_hosts.iter().sum::<usize>(), 257);
+        assert_eq!(stats.shard_busy.len(), 4);
+    }
+
+    #[test]
+    fn jobs_one_degenerate_case_matches_parallel() {
+        let f = |host: HostCtx| (host.index, host.seed, host.seed % 7);
+        let sequential = FleetRunner::sequential().run_seeded(11, 40, f);
+        let parallel = FleetRunner::new(8).run_seeded(11, 40, f);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn jobs_zero_sizes_to_the_machine() {
+        assert!(FleetRunner::new(0).jobs() >= 1);
+        assert_eq!(FleetRunner::new(0).jobs(), FleetRunner::auto().jobs());
+    }
+
+    #[test]
+    fn seeds_are_per_host_and_independent_of_jobs() {
+        let seeds_seq = FleetRunner::sequential().run_seeded(42, 16, |h| h.seed);
+        let seeds_par = FleetRunner::new(4).run_seeded(42, 16, |h| h.seed);
+        assert_eq!(seeds_seq, seeds_par);
+        for (index, seed) in seeds_seq.iter().enumerate() {
+            assert_eq!(*seed, FleetRunner::host_seed(42, index));
+        }
+        let mut unique = seeds_seq.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds_seq.len(), "host seeds must not collide");
+    }
+
+    #[test]
+    fn panicking_host_surfaces_an_error_instead_of_hanging() {
+        let runner = FleetRunner::new(4);
+        let err = runner
+            .try_run(64, |index| {
+                if index == 13 {
+                    panic!("boom on host 13");
+                }
+                index
+            })
+            .expect_err("host 13 panicked");
+        assert_eq!(err.host, 13);
+        assert!(err.message.contains("boom"), "message: {}", err.message);
+    }
+
+    #[test]
+    fn panicking_host_reports_lowest_index_sequentially_too() {
+        let err = FleetRunner::sequential()
+            .try_run(8, |index| {
+                if index >= 2 {
+                    panic!("late failure");
+                }
+                index
+            })
+            .expect_err("host 2 panicked");
+        assert_eq!(err.host, 2);
+        assert!(err.to_string().contains("host 2"));
+    }
+
+    #[test]
+    fn run_panics_with_host_context() {
+        let caught = std::panic::catch_unwind(|| {
+            FleetRunner::new(2).run(4, |index| {
+                if index == 1 {
+                    panic!("kaput");
+                }
+                index
+            })
+        })
+        .expect_err("propagates");
+        let message = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(message.contains("host 1"), "message: {message}");
+        assert!(message.contains("kaput"), "message: {message}");
+    }
+
+    #[test]
+    fn zero_hosts_is_fine() {
+        let (results, stats) = FleetRunner::new(4).try_run(0, |i| i).expect("empty fleet");
+        assert!(results.is_empty());
+        assert_eq!(stats.hosts, 0);
+        assert_eq!(stats.jobs, 1, "an empty fleet needs no workers");
+    }
+
+    #[test]
+    fn stats_summary_line_mentions_hosts_and_workers() {
+        let (_, stats) = FleetRunner::new(2).try_run(6, |i| i).expect("runs");
+        let line = stats.summary_line();
+        assert!(line.contains("6 hosts"), "line: {line}");
+        assert!(line.contains("2 worker"), "line: {line}");
+        assert_eq!(
+            stats.total_busy(),
+            stats.shard_busy.iter().sum::<Duration>()
+        );
+        assert!(stats.speedup() >= 0.0);
+    }
+}

@@ -309,15 +309,14 @@ mod tests {
         let mut batch = apps::feed().with_mem_total(ByteSize::from_mib(128));
         batch.name = "Batch".to_string();
         let b = m.add_container(&batch);
-        let policies = tmo_senpai::PolicyMap::new(SenpaiConfig::accelerated(20.0))
-            .with_policy(
-                "Batch",
-                SenpaiConfig {
-                    psi_threshold: 0.02,
-                    io_threshold: 0.10,
-                    ..SenpaiConfig::accelerated(40.0)
-                },
-            );
+        let policies = tmo_senpai::PolicyMap::new(SenpaiConfig::accelerated(20.0)).with_policy(
+            "Batch",
+            SenpaiConfig {
+                psi_threshold: 0.02,
+                io_threshold: 0.10,
+                ..SenpaiConfig::accelerated(40.0)
+            },
+        );
         let mut rt = TmoRuntime::with_senpai_policies(m, policies);
         rt.run(SimDuration::from_mins(4));
         let saved_default = rt.machine().savings_fraction(a);

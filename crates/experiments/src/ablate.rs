@@ -43,9 +43,8 @@ pub fn reclaim_balance(policy: ReclaimPolicy, scale: Scale) -> BalanceResult {
         seed: 97,
         ..MachineConfig::default()
     });
-    let id = machine.add_container(
-        &apps::feed().with_mem_total(ByteSize::from_mib(scale.app_mib())),
-    );
+    let id =
+        machine.add_container(&apps::feed().with_mem_total(ByteSize::from_mib(scale.app_mib())));
     let mut rt = tmo::TmoRuntime::with_senpai(
         machine,
         SenpaiConfig {
@@ -96,7 +95,9 @@ pub fn reclaim_knob(stateless: bool, scale: Scale) -> KnobResult {
     let profile = apps::cache_b().with_mem_total(dram.mul_f64(0.5));
     let duration = SimDuration::from_mins(scale.minutes().min(4));
     // Rapid growth: the anon budget arrives in the first third.
-    let growth = profile.anon_bytes().mul_f64(0.9 / (duration.as_secs_f64() / 3.0));
+    let growth = profile
+        .anon_bytes()
+        .mul_f64(0.9 / (duration.as_secs_f64() / 3.0));
     let id = machine.add_container_with(
         &profile,
         ContainerConfig {
@@ -107,10 +108,8 @@ pub fn reclaim_knob(stateless: bool, scale: Scale) -> KnobResult {
     );
     let cg = machine.container(id).cgroup();
     if stateless {
-        let mut rt = tmo::TmoRuntime::with_senpai(
-            machine,
-            SenpaiConfig::accelerated(scale.speedup()),
-        );
+        let mut rt =
+            tmo::TmoRuntime::with_senpai(machine, SenpaiConfig::accelerated(scale.speedup()));
         rt.run(duration);
         machine = rt.into_machine();
     } else {
@@ -207,13 +206,9 @@ pub fn zswap_allocator(allocator: Alloc, scale: Scale) -> f64 {
         seed: 107,
         ..MachineConfig::default()
     });
-    let id = machine.add_container(
-        &apps::feed().with_mem_total(ByteSize::from_mib(scale.app_mib())),
-    );
-    let mut rt = tmo::TmoRuntime::with_senpai(
-        machine,
-        SenpaiConfig::accelerated(scale.speedup()),
-    );
+    let id =
+        machine.add_container(&apps::feed().with_mem_total(ByteSize::from_mib(scale.app_mib())));
+    let mut rt = tmo::TmoRuntime::with_senpai(machine, SenpaiConfig::accelerated(scale.speedup()));
     rt.run(SimDuration::from_mins(scale.minutes()));
     let m = rt.machine();
     let page = m.config().page_size;
@@ -253,9 +248,8 @@ pub fn reclaim_interval(interval: SimDuration, scale: Scale) -> IntervalResult {
         seed: 109,
         ..MachineConfig::default()
     });
-    let id = machine.add_container(
-        &apps::feed().with_mem_total(ByteSize::from_mib(scale.app_mib())),
-    );
+    let id =
+        machine.add_container(&apps::feed().with_mem_total(ByteSize::from_mib(scale.app_mib())));
     let config = SenpaiConfig {
         interval,
         write_limit_mbps: None,
@@ -276,13 +270,23 @@ pub fn reclaim_interval(interval: SimDuration, scale: Scale) -> IntervalResult {
     }
 }
 
-/// Runs all ablations and renders the summary.
+/// Runs all ablations and renders the summary, sized to the machine.
 pub fn run(scale: Scale) -> ExperimentOutput {
+    run_with(&tmo::runner::FleetRunner::default(), scale)
+}
+
+/// Runs all ablations and renders the summary, fanning each ablation's
+/// arms out over the runner.
+pub fn run_with(runner: &tmo::runner::FleetRunner, scale: Scale) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("ablations", "Design-choice ablations");
 
     out.line("1. reclaim balancing (refault-balanced vs legacy file-first):".to_string());
-    let balanced = reclaim_balance(ReclaimPolicy::RefaultBalanced, scale);
-    let legacy = reclaim_balance(ReclaimPolicy::LegacyFileFirst, scale);
+    let policies = [
+        ReclaimPolicy::RefaultBalanced,
+        ReclaimPolicy::LegacyFileFirst,
+    ];
+    let balance = runner.run(2, |i| reclaim_balance(policies[i], scale));
+    let (balanced, legacy) = (balance[0], balance[1]);
     out.line(format!(
         "   balanced: {:6.1} refaults/s + {:6.1} swapins/s = {:6.1} paging/s, {:5.1}% saved",
         balanced.refault_rate,
@@ -297,23 +301,20 @@ pub fn run(scale: Scale) -> ExperimentOutput {
         legacy.paging_rate,
         legacy.savings_fraction * 100.0
     ));
-    out.line(
-        "   (balanced reclaim spreads cost across pools: fewer file refaults and"
-            .to_string(),
-    );
+    out.line("   (balanced reclaim spreads cost across pools: fewer file refaults and".to_string());
     out.line("    more savings at the same pressure budget)".to_string());
 
     out.line("2. reclaim knob (stateless memory.reclaim vs memory.max driving):".to_string());
-    let stateless = reclaim_knob(true, scale);
-    let stateful = reclaim_knob(false, scale);
+    let knob = runner.run(2, |i| reclaim_knob(i == 0, scale));
+    let (stateless, stateful) = (knob[0], knob[1]);
     out.line(format!(
         "   stateless: {} alloc failures;  stateful limit: {} alloc failures",
         stateless.alloc_failures, stateful.alloc_failures
     ));
 
     out.line("3. IO-PSI gate under an aggressive controller:".to_string());
-    let gated = io_psi_gate(true, scale);
-    let ungated = io_psi_gate(false, scale);
+    let gate = runner.run(2, |i| io_psi_gate(i == 0, scale));
+    let (gated, ungated) = (gate[0], gate[1]);
     out.line(format!(
         "   gated:   RPS {:7.0}, IO-PSI {:5.2}%, file cache {:6.0} MiB",
         gated.rps, gated.io_pressure, gated.file_cache_mib
@@ -324,17 +325,18 @@ pub fn run(scale: Scale) -> ExperimentOutput {
     ));
 
     out.line("4. zswap allocator (net savings fraction, 3x-compressible data):".to_string());
-    for alloc in [Alloc::Zsmalloc, Alloc::Z3fold, Alloc::Zbud] {
-        out.line(format!(
-            "   {:<10} {}",
-            alloc.to_string(),
-            pct(zswap_allocator(alloc, scale))
-        ));
+    let allocs = [Alloc::Zsmalloc, Alloc::Z3fold, Alloc::Zbud];
+    let alloc_savings = runner.run(allocs.len(), |i| zswap_allocator(allocs[i], scale));
+    for (alloc, saved) in allocs.iter().zip(alloc_savings) {
+        out.line(format!("   {:<10} {}", alloc.to_string(), pct(saved)));
     }
 
     out.line("5. reclaim period (fixed step size, tuned for the 6s cadence):".to_string());
-    for secs in [1, 6, 30] {
-        let r = reclaim_interval(SimDuration::from_secs(secs), scale);
+    let periods = [1u64, 6, 30];
+    let interval_results = runner.run(periods.len(), |i| {
+        reclaim_interval(SimDuration::from_secs(periods[i]), scale)
+    });
+    for (secs, r) in periods.iter().zip(interval_results) {
         out.line(format!(
             "   every {:>2}s: peak pressure {:5.2}%, saved {}",
             secs,

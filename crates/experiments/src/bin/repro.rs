@@ -4,6 +4,7 @@
 //! repro --figure 9            # one figure
 //! repro --all                 # every figure plus the ablations
 //! repro --all --quick         # reduced scale
+//! repro --all --jobs 8        # shard multi-host figures over 8 workers
 //! repro --figure 12 --csv out # also export raw series as CSV
 //! ```
 
@@ -11,7 +12,10 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use tmo_experiments::{ablate, ext_sweep, ext_tiered, headline, run_figure, ExperimentOutput, Scale, ALL_FIGURES};
+use tmo_experiments::{
+    ablate, ext_sweep, ext_tiered, headline, run_figure_with, ExperimentOutput, FleetRunner, Scale,
+    ALL_FIGURES,
+};
 
 #[derive(Debug, Default)]
 struct Args {
@@ -21,6 +25,8 @@ struct Args {
     extensions: bool,
     quick: bool,
     csv: Option<PathBuf>,
+    /// Worker threads for multi-host figures; 0 = size to the machine.
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,10 +47,16 @@ fn parse_args() -> Result<Args, String> {
                 let v = iter.next().ok_or("--csv needs a directory")?;
                 args.csv = Some(PathBuf::from(v));
             }
+            "--jobs" | "-j" => {
+                let v = iter.next().ok_or("--jobs needs a worker count")?;
+                args.jobs = v.parse().map_err(|_| format!("bad worker count {v}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "repro — regenerate the TMO paper's figures\n\n\
-                     USAGE: repro [--figure N]... [--all] [--ablations] [--extensions] [--quick] [--csv DIR]\n\n\
+                     USAGE: repro [--figure N]... [--all] [--ablations] [--extensions] [--quick] [--jobs N] [--csv DIR]\n\n\
+                     --jobs N shards multi-host figures over N worker threads (0 = all\n\
+                     cores, the default); results are bit-identical for every N.\n\n\
                      Figures: {}",
                     ALL_FIGURES
                         .iter()
@@ -86,7 +98,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let scale = if args.quick { Scale::Quick } else { Scale::Paper };
+    let scale = if args.quick {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    };
+    let runner = FleetRunner::new(args.jobs);
+    eprintln!(
+        "multi-host figures shard over {} worker thread(s); output is \
+         identical for any worker count",
+        runner.jobs()
+    );
     let figures: Vec<u32> = if args.all {
         ALL_FIGURES.to_vec()
     } else {
@@ -94,7 +116,7 @@ fn main() -> ExitCode {
     };
 
     for figure in figures {
-        let Some(output) = run_figure(figure, scale) else {
+        let Some(output) = run_figure_with(&runner, figure, scale) else {
             eprintln!("figure {figure} is not part of the paper");
             return ExitCode::FAILURE;
         };
@@ -107,15 +129,15 @@ fn main() -> ExitCode {
         }
     }
     if args.all || args.ablations {
-        let output = ablate::run(scale);
+        let output = ablate::run_with(&runner, scale);
         println!("{}", output.render());
     }
     if args.all || args.extensions {
-        let output = ext_tiered::run(scale);
+        let output = ext_tiered::run_with(&runner, scale);
         println!("{}", output.render());
-        let output = ext_sweep::run(scale);
+        let output = ext_sweep::run_with(&runner, scale);
         println!("{}", output.render());
-        let output = headline::run(scale);
+        let output = headline::run_with(&runner, scale);
         println!("{}", output.render());
     }
     ExitCode::SUCCESS

@@ -83,16 +83,23 @@ pub fn run_point(psi_threshold: f64, scale: Scale) -> SweepPoint {
 /// aggressive.
 pub const THRESHOLDS: [f64; 5] = [0.0005, 0.001, 0.005, 0.02, 0.05];
 
-/// Runs the full sweep.
+/// Runs the full sweep, sized to the machine.
 pub fn simulate(scale: Scale) -> Vec<SweepPoint> {
-    THRESHOLDS
-        .iter()
-        .map(|&t| run_point(t, scale))
-        .collect()
+    simulate_with(&tmo::runner::FleetRunner::default(), scale)
 }
 
-/// Regenerates the tuning sweep.
+/// Runs the full sweep, one worker per grid point.
+pub fn simulate_with(runner: &tmo::runner::FleetRunner, scale: Scale) -> Vec<SweepPoint> {
+    runner.run(THRESHOLDS.len(), |i| run_point(THRESHOLDS[i], scale))
+}
+
+/// Regenerates the tuning sweep, sized to the machine.
 pub fn run(scale: Scale) -> ExperimentOutput {
+    run_with(&tmo::runner::FleetRunner::default(), scale)
+}
+
+/// Regenerates the tuning sweep on the given runner.
+pub fn run_with(runner: &tmo::runner::FleetRunner, scale: Scale) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "extension-sweep",
         "§4.4 Senpai tuning sweep: savings vs RPS frontier (Web, zswap)",
@@ -101,7 +108,7 @@ pub fn run(scale: Scale) -> ExperimentOutput {
         "{:<16} {:>10} {:>12} {:>12}",
         "PSI threshold", "savings", "RPS (rel.)", "mem-PSI"
     ));
-    let points = simulate(scale);
+    let points = simulate_with(runner, scale);
     for p in &points {
         let marker = if (p.psi_threshold - 0.001).abs() < 1e-9 {
             "  <- production"

@@ -63,19 +63,23 @@ pub fn run_backend(label: &str, swap: SwapKind, scale: Scale) -> TieredResult {
     }
 }
 
-/// Runs all three architectures.
+/// Runs all three architectures, sized to the machine.
 pub fn simulate(scale: Scale) -> Vec<TieredResult> {
-    vec![
-        run_backend(
+    simulate_with(&tmo::runner::FleetRunner::default(), scale)
+}
+
+/// Runs all three architectures, one worker per backend.
+pub fn simulate_with(runner: &tmo::runner::FleetRunner, scale: Scale) -> Vec<TieredResult> {
+    let backends: [(&str, SwapKind); 3] = [
+        (
             "zswap only",
             SwapKind::Zswap {
                 capacity_fraction: 0.06,
                 allocator: ZswapAllocator::Zsmalloc,
             },
-            scale,
         ),
-        run_backend("ssd only", SwapKind::Ssd(SsdModel::C), scale),
-        run_backend(
+        ("ssd only", SwapKind::Ssd(SsdModel::C)),
+        (
             "tiered (zswap over ssd)",
             SwapKind::Tiered {
                 zswap_fraction: 0.06,
@@ -84,18 +88,26 @@ pub fn simulate(scale: Scale) -> Vec<TieredResult> {
                 demote_after: SimDuration::from_secs(30),
                 min_compress_ratio: 2.0,
             },
-            scale,
         ),
-    ]
+    ];
+    runner.run(backends.len(), |i| {
+        let (label, swap) = backends[i].clone();
+        run_backend(label, swap, scale)
+    })
 }
 
-/// Regenerates the extension comparison.
+/// Regenerates the extension comparison, sized to the machine.
 pub fn run(scale: Scale) -> ExperimentOutput {
+    run_with(&tmo::runner::FleetRunner::default(), scale)
+}
+
+/// Regenerates the extension comparison on the given runner.
+pub fn run_with(runner: &tmo::runner::FleetRunner, scale: Scale) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "extension-tiered",
         "§5.2 tiered backend hierarchy on a mixed host (Feed 3.0x + ML 1.3x)",
     );
-    let results = simulate(scale);
+    let results = simulate_with(runner, scale);
     out.line(format!(
         "{:<26} {:>12} {:>12} {:>12}",
         "Backend", "net savings", "pool DRAM", "mem-PSI"

@@ -39,8 +39,7 @@ mod tests {
             .lines
             .iter()
             .filter(|l| {
-                l.starts_with("Gen ")
-                    && l.chars().nth(4).is_some_and(|c| c.is_ascii_digit())
+                l.starts_with("Gen ") && l.chars().nth(4).is_some_and(|c| c.is_ascii_digit())
             })
             .count();
         assert_eq!(rows, 6);

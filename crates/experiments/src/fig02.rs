@@ -58,16 +58,23 @@ pub fn measure(profile: &AppProfile, scale: Scale) -> ColdnessRow {
     }
 }
 
-/// Regenerates Figure 2 for the seven characterised applications.
+/// Regenerates Figure 2, sized to the machine.
 pub fn run(scale: Scale) -> ExperimentOutput {
+    run_with(&tmo::runner::FleetRunner::default(), scale)
+}
+
+/// Regenerates Figure 2 for the seven characterised applications, one
+/// worker per application.
+pub fn run_with(runner: &tmo::runner::FleetRunner, scale: Scale) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("figure-02", "Recently used memory per application");
     out.line(format!(
         "{:<12} {:>10} {:>10} {:>10} {:>10}",
         "App", "1-min", "+2-min", "+5-min", "cold"
     ));
     let mut colds = Vec::new();
-    for profile in tmo_workload::apps::figure2_apps() {
-        let row = measure(&profile, scale);
+    let profiles = tmo_workload::apps::figure2_apps();
+    let rows = runner.run(profiles.len(), |i| measure(&profiles[i], scale));
+    for row in rows {
         out.line(format!(
             "{:<12} {:>10} {:>10} {:>10} {:>10}",
             row.name,
@@ -99,7 +106,11 @@ mod tests {
         let row = measure(&tmo_workload::apps::feed(), Scale::Quick);
         // Paper: 50 / 8 / 12 / 30. The generator is stochastic; accept
         // a few points of slack.
-        assert!((row.used_1min - 0.50).abs() < 0.08, "1min {}", row.used_1min);
+        assert!(
+            (row.used_1min - 0.50).abs() < 0.08,
+            "1min {}",
+            row.used_1min
+        );
         assert!((row.cold - 0.30).abs() < 0.06, "cold {}", row.cold);
     }
 

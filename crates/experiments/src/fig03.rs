@@ -31,9 +31,7 @@ pub fn tax_machine(scale: Scale, seed: u64) -> (Machine, ContainerId, ContainerI
         },
         ..MachineConfig::default()
     });
-    let workload = machine.add_container(
-        &apps::feed().with_mem_total(server.mul_f64(0.45)),
-    );
+    let workload = machine.add_container(&apps::feed().with_mem_total(server.mul_f64(0.45)));
     let dc = machine.add_container_with(
         &tax::datacenter_tax(server),
         ContainerConfig {
@@ -56,7 +54,9 @@ pub fn measure(scale: Scale) -> TaxShares {
     let (machine, _, dc, micro) = tax_machine(scale, 23);
     let server = machine.mm().global_stat().total_dram;
     let dc_mem = machine.mm().memory_current(machine.container(dc).cgroup());
-    let micro_mem = machine.mm().memory_current(machine.container(micro).cgroup());
+    let micro_mem = machine
+        .mm()
+        .memory_current(machine.container(micro).cgroup());
     TaxShares {
         datacenter: dc_mem / server,
         microservice: micro_mem / server,

@@ -38,7 +38,10 @@ pub fn measure(profile: &AppProfile, scale: Scale) -> SplitRow {
 /// Regenerates Figure 4: taxes first, then the applications.
 pub fn run(scale: Scale) -> ExperimentOutput {
     let mut out = ExperimentOutput::new("figure-04", "Anonymous and file-backed memory breakdown");
-    out.line(format!("{:<18} {:>10} {:>12}", "Container", "anon", "file-backed"));
+    out.line(format!(
+        "{:<18} {:>10} {:>12}",
+        "Container", "anon", "file-backed"
+    ));
     let server = ByteSize::from_mib(scale.dram_mib());
     let mut profiles = vec![tax::datacenter_tax(server), tax::microservice_tax(server)];
     profiles.extend(tmo_workload::apps::figure4_apps());

@@ -24,7 +24,10 @@ pub fn measured_read_p99_us(model: SsdModel, n: usize) -> f64 {
 
 /// Regenerates the Figure 5 device table.
 pub fn run() -> ExperimentOutput {
-    let mut out = ExperimentOutput::new("figure-05", "Fleet SSD characteristics (A oldest → G newest)");
+    let mut out = ExperimentOutput::new(
+        "figure-05",
+        "Fleet SSD characteristics (A oldest → G newest)",
+    );
     out.line(format!(
         "{:<6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>14}",
         "SSD", "pTBW", "read iops", "read p99", "write iops", "write p99", "measured p99"

@@ -21,10 +21,7 @@ pub fn simulate(scale: Scale) -> tmo::TmoRuntime {
         ..MachineConfig::default()
     });
     machine.add_container(&apps::feed().with_mem_total(ByteSize::from_mib(scale.app_mib())));
-    let mut rt = tmo::TmoRuntime::with_senpai(
-        machine,
-        SenpaiConfig::accelerated(scale.speedup()),
-    );
+    let mut rt = tmo::TmoRuntime::with_senpai(machine, SenpaiConfig::accelerated(scale.speedup()));
     rt.run(SimDuration::from_mins(scale.minutes()));
     rt
 }

@@ -37,10 +37,7 @@ pub fn measure(profile: &AppProfile, zswap: bool, scale: Scale) -> SavingsRow {
     });
     let app = profile.with_mem_total(ByteSize::from_mib(scale.app_mib()));
     let id = machine.add_container(&app);
-    let mut rt = tmo::TmoRuntime::with_senpai(
-        machine,
-        SenpaiConfig::accelerated(scale.speedup()),
-    );
+    let mut rt = tmo::TmoRuntime::with_senpai(machine, SenpaiConfig::accelerated(scale.speedup()));
     rt.run(SimDuration::from_mins(scale.minutes()));
     SavingsRow {
         savings: app_savings(rt.machine(), id),
@@ -48,9 +45,15 @@ pub fn measure(profile: &AppProfile, zswap: bool, scale: Scale) -> SavingsRow {
     }
 }
 
-/// Regenerates Figure 9 for all eight applications (nine bars — Ads A
-/// appears once; the paper's x-axis lists nine labels).
+/// Regenerates Figure 9, sized to the machine.
 pub fn run(scale: Scale) -> ExperimentOutput {
+    run_with(&tmo::runner::FleetRunner::default(), scale)
+}
+
+/// Regenerates Figure 9 for all eight applications (nine bars — Ads A
+/// appears once; the paper's x-axis lists nine labels), one worker per
+/// application.
+pub fn run_with(runner: &tmo::runner::FleetRunner, scale: Scale) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "figure-09",
         "Memory savings per application (normalised to resident size)",
@@ -61,8 +64,9 @@ pub fn run(scale: Scale) -> ExperimentOutput {
     ));
     let mut zswap_totals = Vec::new();
     let mut ssd_totals = Vec::new();
-    for (profile, zswap) in tmo_workload::apps::figure9_apps() {
-        let row = measure(&profile, zswap, scale);
+    let apps = tmo_workload::apps::figure9_apps();
+    let rows = runner.run(apps.len(), |i| measure(&apps[i].0, apps[i].1, scale));
+    for (row, (_, zswap)) in rows.into_iter().zip(apps) {
         let backend = if zswap { "zswap" } else { "ssd" };
         out.line(format!(
             "{:<12} {:<10} {:>8} {:>8} {:>8}",
@@ -94,11 +98,7 @@ mod tests {
     #[test]
     fn compressible_app_saves_on_zswap() {
         let row = measure(&tmo_workload::apps::ads_a(), true, Scale::Quick);
-        assert!(
-            row.savings.total() > 0.04,
-            "total {}",
-            row.savings.total()
-        );
+        assert!(row.savings.total() > 0.04, "total {}", row.savings.total());
         assert!(row.savings.total() < 0.30);
     }
 

@@ -30,10 +30,7 @@ impl TaxSavings {
 pub fn measure(scale: Scale) -> TaxSavings {
     let (machine, _, dc, micro) = tax_machine(scale, 53);
     let server = machine.mm().global_stat().total_dram;
-    let mut rt = tmo::TmoRuntime::with_senpai(
-        machine,
-        SenpaiConfig::accelerated(scale.speedup()),
-    );
+    let mut rt = tmo::TmoRuntime::with_senpai(machine, SenpaiConfig::accelerated(scale.speedup()));
     rt.run(SimDuration::from_mins(scale.minutes()));
     let dc_saved = rt.machine().net_savings_bytes(dc);
     let micro_saved = rt.machine().net_savings_bytes(micro);
@@ -50,7 +47,10 @@ pub fn run(scale: Scale) -> ExperimentOutput {
         "Memory tax savings normalised to server memory",
     );
     let savings = measure(scale);
-    out.line(format!("{:<20} {:>10} {:>10}", "Component", "measured", "paper"));
+    out.line(format!(
+        "{:<20} {:>10} {:>10}",
+        "Component", "measured", "paper"
+    ));
     out.line(format!(
         "{:<20} {:>10} {:>10}",
         "Datacenter Tax",

@@ -79,30 +79,43 @@ pub fn run_phase(label: &str, swap: SwapKind, senpai: bool, scale: Scale) -> Pha
     }
 }
 
-/// Runs all three phases.
+/// Runs all three phases, sized to the machine.
 pub fn simulate(scale: Scale) -> Vec<PhaseResult> {
-    vec![
-        run_phase("baseline (no offload)", SwapKind::None, false, scale),
-        run_phase("TMO: SSD offload", SwapKind::Ssd(SsdModel::C), true, scale),
-        run_phase(
+    simulate_with(&tmo::runner::FleetRunner::default(), scale)
+}
+
+/// Runs all three phases, one worker per phase.
+pub fn simulate_with(runner: &tmo::runner::FleetRunner, scale: Scale) -> Vec<PhaseResult> {
+    let phases: [(&str, SwapKind, bool); 3] = [
+        ("baseline (no offload)", SwapKind::None, false),
+        ("TMO: SSD offload", SwapKind::Ssd(SsdModel::C), true),
+        (
             "TMO: compressed memory",
             SwapKind::Zswap {
                 capacity_fraction: 0.3,
                 allocator: ZswapAllocator::Zsmalloc,
             },
             true,
-            scale,
         ),
-    ]
+    ];
+    runner.run(phases.len(), |i| {
+        let (label, swap, senpai) = phases[i].clone();
+        run_phase(label, swap, senpai, scale)
+    })
 }
 
-/// Regenerates Figure 11.
+/// Regenerates Figure 11, sized to the machine.
 pub fn run(scale: Scale) -> ExperimentOutput {
+    run_with(&tmo::runner::FleetRunner::default(), scale)
+}
+
+/// Regenerates Figure 11 on the given runner.
+pub fn run_with(runner: &tmo::runner::FleetRunner, scale: Scale) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "figure-11",
         "Web on memory-bound hosts: RPS and resident memory, 3 phases",
     );
-    let phases = simulate(scale);
+    let phases = simulate_with(runner, scale);
     let baseline_resident = phases[0].final_resident_mib.max(1.0);
     out.line(format!(
         "{:<26} {:>10} {:>10} {:>10} {:>14}",
@@ -144,8 +157,7 @@ mod tests {
         let baseline = &phases[0];
         let ssd = &phases[1];
         let zswap = &phases[2];
-        let drop =
-            |p: &PhaseResult| 1.0 - p.late_rps / p.early_rps.max(1.0);
+        let drop = |p: &PhaseResult| 1.0 - p.late_rps / p.early_rps.max(1.0);
         // The baseline self-throttles noticeably once memory-bound.
         assert!(drop(baseline) > 0.10, "baseline drop {}", drop(baseline));
         // TMO tiers end with materially higher RPS than the baseline.

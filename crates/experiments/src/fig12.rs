@@ -178,7 +178,11 @@ pub fn run(scale: Scale) -> ExperimentOutput {
         ("p90 read latency (ms)", fast.read_p90_ms, slow.read_p90_ms),
         ("swap size (MiB)", fast.swap_mib, slow.swap_mib),
         ("resident (MiB)", fast.resident_mib, slow.resident_mib),
-        ("promotion rate (/s)", fast.promotion_rate, slow.promotion_rate),
+        (
+            "promotion rate (/s)",
+            fast.promotion_rate,
+            slow.promotion_rate,
+        ),
         ("RPS", fast.rps, slow.rps),
         ("mem pressure (%)", fast.mem_pressure, slow.mem_pressure),
         ("IO pressure (%)", fast.io_pressure, slow.io_pressure),

@@ -100,22 +100,36 @@ fn config_b(scale: Scale) -> SenpaiConfig {
     }
 }
 
-/// Runs baseline, Config A, and Config B tiers.
+/// Runs baseline, Config A, and Config B tiers, sized to the machine.
 pub fn simulate(scale: Scale) -> Vec<ConfigResult> {
-    vec![
-        run_tier("baseline (TMO off)", None, scale),
-        run_tier("Config A (production)", Some(config_a(scale)), scale),
-        run_tier("Config B (aggressive)", Some(config_b(scale)), scale),
-    ]
+    simulate_with(&tmo::runner::FleetRunner::default(), scale)
 }
 
-/// Regenerates Figure 13.
+/// Runs baseline, Config A, and Config B tiers, one worker per tier.
+pub fn simulate_with(runner: &tmo::runner::FleetRunner, scale: Scale) -> Vec<ConfigResult> {
+    let tiers: [(&str, Option<SenpaiConfig>); 3] = [
+        ("baseline (TMO off)", None),
+        ("Config A (production)", Some(config_a(scale))),
+        ("Config B (aggressive)", Some(config_b(scale))),
+    ];
+    runner.run(tiers.len(), |i| {
+        let (label, config) = tiers[i].clone();
+        run_tier(label, config, scale)
+    })
+}
+
+/// Regenerates Figure 13, sized to the machine.
 pub fn run(scale: Scale) -> ExperimentOutput {
+    run_with(&tmo::runner::FleetRunner::default(), scale)
+}
+
+/// Regenerates Figure 13 on the given runner.
+pub fn run_with(runner: &tmo::runner::FleetRunner, scale: Scale) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "figure-13",
         "Senpai Config A vs Config B on non-memory-bound Web (zswap backend)",
     );
-    let tiers = simulate(scale);
+    let tiers = simulate_with(runner, scale);
     let baseline_rps = tiers[0].rps.max(1.0);
     out.line(format!(
         "{:<24} {:>10} {:>9} {:>9} {:>9} {:>10} {:>10}",
@@ -169,11 +183,6 @@ mod tests {
             a.io_pressure
         );
         // And B's RPS regresses materially versus Config A.
-        assert!(
-            b.rps < a.rps * 0.97,
-            "B rps {} vs A rps {}",
-            b.rps,
-            a.rps
-        );
+        assert!(b.rps < a.rps * 0.97, "B rps {} vs A rps {}", b.rps, a.rps);
     }
 }

@@ -6,10 +6,14 @@
 //! device write rate settles at the 1 MB/s endurance-safe threshold.
 //! The figure plots the p50 and p90 swap-out rate across the cluster.
 
-use crossbeam::thread;
 use tmo::prelude::*;
+use tmo::runner::FleetRunner;
 
 use crate::report::{ExperimentOutput, Scale};
+
+/// Experiment-level seed; host `h` runs with
+/// `FleetRunner::host_seed(EXPERIMENT_SEED, h)`.
+pub const EXPERIMENT_SEED: u64 = 100;
 
 /// Per-day cluster percentiles.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,20 +98,12 @@ pub fn run_host(seed: u64, scale: Scale) -> Vec<f64> {
         .collect()
 }
 
-/// Runs the cluster (hosts in parallel) and aggregates per-day
-/// percentiles.
-pub fn simulate(scale: Scale) -> Vec<DayRow> {
+/// Runs the cluster on the given runner and aggregates per-day
+/// percentiles. Output is bit-identical for any worker count.
+pub fn simulate_with(runner: &FleetRunner, scale: Scale) -> Vec<DayRow> {
     let n = hosts(scale);
-    let per_host: Vec<Vec<f64>> = thread::scope(|s| {
-        let handles: Vec<_> = (0..n)
-            .map(|h| s.spawn(move |_| run_host(100 + h as u64, scale)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("host thread"))
-            .collect()
-    })
-    .expect("cluster scope");
+    let per_host: Vec<Vec<f64>> =
+        runner.run_seeded(EXPERIMENT_SEED, n, |host| run_host(host.seed, scale));
 
     (0..14)
         .map(|d| {
@@ -123,13 +119,23 @@ pub fn simulate(scale: Scale) -> Vec<DayRow> {
         .collect()
 }
 
-/// Regenerates Figure 14.
+/// Runs the cluster sized to the machine.
+pub fn simulate(scale: Scale) -> Vec<DayRow> {
+    simulate_with(&FleetRunner::default(), scale)
+}
+
+/// Regenerates Figure 14, sized to the machine.
 pub fn run(scale: Scale) -> ExperimentOutput {
+    run_with(&FleetRunner::default(), scale)
+}
+
+/// Regenerates Figure 14 on the given runner.
+pub fn run_with(runner: &FleetRunner, scale: Scale) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "figure-14",
         "Swap-out rate with and without write regulation (Ads B cluster)",
     );
-    let rows = simulate(scale);
+    let rows = simulate_with(runner, scale);
     out.line(format!(
         "{:<6} {:<14} {:>12} {:>12}",
         "Day", "regulation", "p50 (MB/s)", "p90 (MB/s)"
@@ -143,9 +149,8 @@ pub fn run(scale: Scale) -> ExperimentOutput {
             row.p90,
         ));
     }
-    let mean = |rows: &[&DayRow]| {
-        rows.iter().map(|r| r.p90).sum::<f64>() / rows.len().max(1) as f64
-    };
+    let mean =
+        |rows: &[&DayRow]| rows.iter().map(|r| r.p90).sum::<f64>() / rows.len().max(1) as f64;
     let before: Vec<&DayRow> = rows.iter().filter(|r| !r.regulated).collect();
     let after: Vec<&DayRow> = rows.iter().filter(|r| r.regulated && r.day > 8).collect();
     out.line(format!(
@@ -169,7 +174,10 @@ mod tests {
         // Without regulation the cluster writes well above the limit;
         // with it, the p90 settles near or below ~1 MB/s.
         assert!(unreg_p90 > 1.2, "unregulated p90 {unreg_p90}");
-        assert!(reg_p90 < unreg_p90 * 0.7, "regulated p90 {reg_p90} vs {unreg_p90}");
+        assert!(
+            reg_p90 < unreg_p90 * 0.7,
+            "regulated p90 {reg_p90} vs {unreg_p90}"
+        );
         assert!(reg_p90 < 1.5, "regulated p90 {reg_p90}");
     }
 }

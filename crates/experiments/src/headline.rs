@@ -6,14 +6,19 @@
 //! from the sidecar containers" — is a fleet aggregate over hosts running
 //! different primary workloads, each with the datacenter and
 //! microservice tax sidecars. This experiment synthesises such a fleet
-//! (hosts in parallel), runs every host under the production-style
-//! controller, and rolls the savings up the way §4.1 does.
+//! (hosts sharded across a [`FleetRunner`]), runs every host under the
+//! production-style controller, and rolls the savings up the way §4.1
+//! does.
 
-use crossbeam::thread;
 use tmo::fleet::{host_savings, summarize, FleetSummary, HostSavings};
 use tmo::prelude::*;
+use tmo::runner::{FleetRunner, FleetStats};
 
 use crate::report::{pct, ExperimentOutput, Scale};
+
+/// Experiment-level seed; host `i` runs with
+/// `FleetRunner::host_seed(EXPERIMENT_SEED, i)`.
+pub const EXPERIMENT_SEED: u64 = 900;
 
 /// The primary workloads spread across the fleet (a representative mix
 /// of the paper's applications, zswap- and SSD-suited).
@@ -55,44 +60,50 @@ pub fn run_host(workload: &AppProfile, zswap: bool, seed: u64, scale: Scale) -> 
             ..ContainerConfig::default()
         },
     );
-    let mut rt = tmo::TmoRuntime::with_senpai(
-        machine,
-        SenpaiConfig::accelerated(scale.speedup()),
-    );
+    let mut rt = tmo::TmoRuntime::with_senpai(machine, SenpaiConfig::accelerated(scale.speedup()));
     rt.run(SimDuration::from_mins(scale.minutes().max(5)));
     host_savings(rt.machine())
 }
 
-/// Runs the whole fleet in parallel and aggregates.
-pub fn simulate(scale: Scale) -> (Vec<HostSavings>, FleetSummary) {
-    let mix = fleet_mix();
-    let hosts: Vec<HostSavings> = thread::scope(|s| {
-        let handles: Vec<_> = mix
-            .iter()
-            .enumerate()
-            .map(|(i, (profile, zswap))| {
-                let profile = profile.clone();
-                let zswap = *zswap;
-                s.spawn(move |_| run_host(&profile, zswap, 900 + i as u64, scale))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("host thread"))
-            .collect()
-    })
-    .expect("fleet scope");
-    let summary = summarize(&hosts);
+/// Runs the whole fleet on the given runner and aggregates. Output is
+/// bit-identical for any worker count.
+pub fn simulate_with(runner: &FleetRunner, scale: Scale) -> (Vec<HostSavings>, FleetSummary) {
+    let (hosts, _, summary) = simulate_with_stats(runner, scale);
     (hosts, summary)
 }
 
-/// Regenerates the headline table.
+fn simulate_with_stats(
+    runner: &FleetRunner,
+    scale: Scale,
+) -> (Vec<HostSavings>, FleetStats, FleetSummary) {
+    let mix = fleet_mix();
+    let (hosts, stats) = runner
+        .try_run_seeded(EXPERIMENT_SEED, mix.len(), |host| {
+            let (profile, zswap) = &mix[host.index];
+            run_host(profile, *zswap, host.seed, scale)
+        })
+        .expect("fleet host simulation");
+    let summary = summarize(&hosts);
+    (hosts, stats, summary)
+}
+
+/// Runs the whole fleet and aggregates, sized to the machine.
+pub fn simulate(scale: Scale) -> (Vec<HostSavings>, FleetSummary) {
+    simulate_with(&FleetRunner::default(), scale)
+}
+
+/// Regenerates the headline table, sized to the machine.
 pub fn run(scale: Scale) -> ExperimentOutput {
+    run_with(&FleetRunner::default(), scale)
+}
+
+/// Regenerates the headline table on the given runner.
+pub fn run_with(runner: &FleetRunner, scale: Scale) -> ExperimentOutput {
     let mut out = ExperimentOutput::new(
         "headline",
         "Fleet-wide savings rollup (abstract: 20-32% of total memory)",
     );
-    let (hosts, summary) = simulate(scale);
+    let (hosts, stats, summary) = simulate_with_stats(runner, scale);
     out.line(format!(
         "{:<12} {:>10} {:>10} {:>10} {:>10}",
         "Host", "workload", "dc-tax", "micro-tax", "total"
@@ -114,7 +125,12 @@ pub fn run(scale: Scale) -> ExperimentOutput {
         pct(summary.datacenter_tax_fraction + summary.microservice_tax_fraction),
         pct(summary.total_fraction),
     ));
-    out.line("paper: 7-19% from applications + ~13% from the memory tax = 20-32% total".to_string());
+    out.line(
+        "paper: 7-19% from applications + ~13% from the memory tax = 20-32% total".to_string(),
+    );
+    // Shard timings are diagnostics, not results: they go to stderr so
+    // stdout stays bit-identical for every worker count.
+    eprintln!("{}", stats.summary_line());
     out
 }
 
@@ -124,7 +140,7 @@ mod tests {
 
     #[test]
     fn fleet_rollup_reaches_the_headline_band() {
-        let (hosts, summary) = simulate(Scale::Quick);
+        let (hosts, summary) = simulate_with(&FleetRunner::new(4), Scale::Quick);
         assert_eq!(hosts.len(), fleet_mix().len());
         // Every host saved something from both the workload and the tax.
         for host in &hosts {

@@ -35,7 +35,6 @@
 
 pub mod ablate;
 pub mod ext_sweep;
-pub mod headline;
 pub mod ext_tiered;
 pub mod fig01;
 pub mod fig02;
@@ -51,28 +50,42 @@ pub mod fig11;
 pub mod fig12;
 pub mod fig13;
 pub mod fig14;
+pub mod headline;
 pub mod report;
 
 pub use report::{ExperimentOutput, Scale};
+pub use tmo::runner::{FleetError, FleetRunner, FleetStats, HostCtx};
 
-/// Runs one experiment by figure number. Returns `None` for numbers the
-/// paper does not define (6 is the architecture diagram).
+/// Runs one experiment by figure number, sized to the machine. Returns
+/// `None` for numbers the paper does not define.
 pub fn run_figure(figure: u32, scale: Scale) -> Option<ExperimentOutput> {
+    run_figure_with(&FleetRunner::default(), figure, scale)
+}
+
+/// Runs one experiment by figure number on the given runner. Multi-host
+/// figures shard across the runner's workers; single-machine figures
+/// ignore it. Returns `None` for numbers the paper does not define
+/// (6 is the architecture diagram).
+pub fn run_figure_with(
+    runner: &FleetRunner,
+    figure: u32,
+    scale: Scale,
+) -> Option<ExperimentOutput> {
     Some(match figure {
         1 => fig01::run(),
-        2 => fig02::run(scale),
+        2 => fig02::run_with(runner, scale),
         3 => fig03::run(scale),
         4 => fig04::run(scale),
         5 => fig05::run(),
         6 => fig06::run(scale),
         7 => fig07::run(),
         8 => fig08::run(scale),
-        9 => fig09::run(scale),
+        9 => fig09::run_with(runner, scale),
         10 => fig10::run(scale),
-        11 => fig11::run(scale),
+        11 => fig11::run_with(runner, scale),
         12 => fig12::run(scale),
-        13 => fig13::run(scale),
-        14 => fig14::run(scale),
+        13 => fig13::run_with(runner, scale),
+        14 => fig14::run_with(runner, scale),
         _ => return None,
     })
 }

@@ -100,8 +100,7 @@ impl GswapController {
     /// or above target. No awareness of device latency or application
     /// slowdown — that is the point of the baseline.
     pub fn decide(&self, signal: &PromotionSignal) -> ByteSize {
-        let headroom =
-            (1.0 - signal.promotion_rate / self.config.target_promotion_rate).max(0.0);
+        let headroom = (1.0 - signal.promotion_rate / self.config.target_promotion_rate).max(0.0);
         signal
             .current_mem
             .mul_f64(self.config.reclaim_ratio * headroom)

@@ -192,8 +192,7 @@ impl MemoryManager {
     /// protection.
     pub fn is_low_protected(&self, cg: CgroupId) -> bool {
         let c = &self.cgroups[cg.0];
-        !c.memory_low.is_zero()
-            && c.subtree_resident.to_bytes(self.page_size) <= c.memory_low
+        !c.memory_low.is_zero() && c.subtree_resident.to_bytes(self.page_size) <= c.memory_low
     }
 
     /// Sets the mean compression ratio of the cgroup's anonymous memory.
@@ -460,8 +459,7 @@ impl MemoryManager {
                 self.alloc_failures += 1;
                 return Err(AllocError::OutOfMemory);
             };
-            let outcome =
-                self.reclaim_one_cgroup(victim, n.max(DIRECT_RECLAIM_BATCH));
+            let outcome = self.reclaim_one_cgroup(victim, n.max(DIRECT_RECLAIM_BATCH));
             stall += SCAN_COST * outcome.scanned.as_u64();
             if outcome.reclaimed().is_zero() {
                 // Nothing reclaimable in the largest group; try an
@@ -515,8 +513,7 @@ impl MemoryManager {
     /// Panics if the page was freed.
     pub fn access(&mut self, id: PageId, now: SimTime) -> AccessOutcome {
         let page = &self.pages[id.0 as usize];
-        let (kind, owner, state, referenced) =
-            (page.kind, page.owner, page.state, page.referenced);
+        let (kind, owner, state, referenced) = (page.kind, page.owner, page.state, page.referenced);
         match state {
             PageState::Resident { tier } => {
                 let page = &mut self.pages[id.0 as usize];
@@ -582,9 +579,7 @@ impl MemoryManager {
         shadow: u64,
         now: SimTime,
     ) -> AccessOutcome {
-        let latency = self
-            .fs
-            .access(IoKind::Read, self.page_size, &mut self.rng);
+        let latency = self.fs.access(IoKind::Read, self.page_size, &mut self.rng);
         let resident = self.cgroups[owner.0].resident_pages().as_u64();
         let is_refault = self.cgroups[owner.0].evictions.is_refault(shadow, resident);
         self.cgroups[owner.0].file_evicted -= PageCount::new(1);
@@ -654,8 +649,8 @@ impl MemoryManager {
             if remaining == 0 {
                 break;
             }
-            let share = self.cgroups[member.0].resident_pages().as_u64() as f64
-                / total_resident as f64;
+            let share =
+                self.cgroups[member.0].resident_pages().as_u64() as f64 / total_resident as f64;
             let want = ((target_pages as f64 * share).ceil() as u64).min(remaining);
             if want == 0 {
                 continue;
@@ -706,8 +701,7 @@ impl MemoryManager {
         // And unmet file target back to anon: when the file pool is
         // exhausted mid-call the kernel keeps scanning the swap-backed
         // pool rather than returning short.
-        let shortfall = (file_target + shortfall)
-            .saturating_sub(file_out.reclaimed().as_u64());
+        let shortfall = (file_target + shortfall).saturating_sub(file_out.reclaimed().as_u64());
         if shortfall > 0 {
             outcome.merge(self.shrink_list(cg, PageKind::Anon, shortfall));
         }
@@ -866,10 +860,15 @@ impl MemoryManager {
                 for tier in [LruTier::Active, LruTier::Inactive] {
                     let pages = &self.pages;
                     let cg = CgroupId(ci);
-                    self.cgroups[ci].lrus.list_mut(kind, tier).maybe_compact(|id| {
-                        let p = &pages[id.0 as usize];
-                        p.owner == cg && p.kind == kind && p.state == PageState::Resident { tier }
-                    });
+                    self.cgroups[ci]
+                        .lrus
+                        .list_mut(kind, tier)
+                        .maybe_compact(|id| {
+                            let p = &pages[id.0 as usize];
+                            p.owner == cg
+                                && p.kind == kind
+                                && p.state == PageState::Resident { tier }
+                        });
                 }
             }
         }
@@ -952,10 +951,7 @@ mod tests {
         assert_eq!(out.reclaim_stall, SimDuration::ZERO);
         assert_eq!(mm.cgroup_stat(cg).anon_resident, PageCount::new(10));
         assert_eq!(mm.free_pages(), 118);
-        assert_eq!(
-            mm.memory_current(cg),
-            ByteSize::from_kib(40)
-        );
+        assert_eq!(mm.memory_current(cg), ByteSize::from_kib(40));
     }
 
     #[test]
@@ -1181,10 +1177,7 @@ mod tests {
         let again = mm
             .alloc_pages(cg, PageKind::File, 5, SimTime::ZERO)
             .expect("fits");
-        assert!(again
-            .pages
-            .iter()
-            .all(|p| alloc.pages.contains(p)));
+        assert!(again.pages.iter().all(|p| alloc.pages.contains(p)));
     }
 
     #[test]
@@ -1217,8 +1210,10 @@ mod tests {
             ..small_config(ssd_swap())
         });
         let cg = mm.create_cgroup("a", None);
-        mm.alloc_pages(cg, PageKind::File, 40, SimTime::ZERO).expect("fits");
-        mm.alloc_pages(cg, PageKind::Anon, 40, SimTime::ZERO).expect("fits");
+        mm.alloc_pages(cg, PageKind::File, 40, SimTime::ZERO)
+            .expect("fits");
+        mm.alloc_pages(cg, PageKind::Anon, 40, SimTime::ZERO)
+            .expect("fits");
         let out = mm.reclaim(cg, ByteSize::from_kib(4 * 20));
         assert_eq!(out.reclaimed_anon, PageCount::ZERO);
         assert_eq!(out.reclaimed_file, PageCount::new(20));
@@ -1253,7 +1248,7 @@ mod tests {
         mm.alloc_pages(only, PageKind::File, 100, SimTime::ZERO)
             .expect("fits");
         mm.set_memory_low(only, ByteSize::from_mib(1)); // fully protected
-        // DRAM exhaustion with no unprotected victim: protection yields.
+                                                        // DRAM exhaustion with no unprotected victim: protection yields.
         let out = mm.alloc_pages(only, PageKind::Anon, 40, SimTime::ZERO);
         assert!(out.is_ok(), "protection must be best-effort: {out:?}");
     }
@@ -1302,7 +1297,8 @@ mod tests {
     fn tick_decays_rates() {
         let mut mm = MemoryManager::new(small_config(ssd_swap()));
         let cg = mm.create_cgroup("a", None);
-        mm.alloc_pages(cg, PageKind::Anon, 20, SimTime::ZERO).expect("fits");
+        mm.alloc_pages(cg, PageKind::Anon, 20, SimTime::ZERO)
+            .expect("fits");
         mm.reclaim(cg, ByteSize::from_kib(4 * 10));
         mm.tick(SimDuration::from_secs(1));
         let rate = mm.cgroup_stat(cg).swapout_rate;

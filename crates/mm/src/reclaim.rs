@@ -73,9 +73,8 @@ impl ReclaimPolicy {
             ReclaimPolicy::LegacyFileFirst => {
                 // Heuristic skew: keep dropping file cache until almost
                 // none is left, then fall back to swap.
-                let floor =
-                    ((inputs.file_pages + inputs.anon_pages) as f64
-                        * LEGACY_FILE_FLOOR_FRACTION) as u64;
+                let floor = ((inputs.file_pages + inputs.anon_pages) as f64
+                    * LEGACY_FILE_FLOOR_FRACTION) as u64;
                 if inputs.file_pages > floor {
                     ScanSplit { file_fraction: 1.0 }
                 } else {
@@ -117,7 +116,10 @@ mod tests {
 
     #[test]
     fn no_swap_forces_file_only() {
-        for policy in [ReclaimPolicy::LegacyFileFirst, ReclaimPolicy::RefaultBalanced] {
+        for policy in [
+            ReclaimPolicy::LegacyFileFirst,
+            ReclaimPolicy::RefaultBalanced,
+        ] {
             let split = policy.split(&BalanceInputs {
                 swap_available: false,
                 refault_rate: 100.0,

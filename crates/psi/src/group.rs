@@ -237,8 +237,7 @@ impl PsiGroup {
         self.fired.clear();
         self.wall_total += window;
         let window_ns = window.as_nanos();
-        let non_idle: Vec<&TaskObservation> =
-            tasks.iter().filter(|t| t.is_non_idle()).collect();
+        let non_idle: Vec<&TaskObservation> = tasks.iter().filter(|t| t.is_non_idle()).collect();
 
         for resource in Resource::ALL {
             let stall_sets: Vec<IntervalSet> = non_idle
@@ -290,11 +289,7 @@ impl PsiGroup {
     /// This is conservative for `full` (stalls overlap maximally) and
     /// exact for single-task domains. `stalls_per_task[i][r]` is task
     /// `i`'s stall time on `Resource::ALL[r]`.
-    pub fn observe_totals(
-        &mut self,
-        window: SimDuration,
-        stalls_per_task: &[[SimDuration; 3]],
-    ) {
+    pub fn observe_totals(&mut self, window: SimDuration, stalls_per_task: &[[SimDuration; 3]]) {
         let window_ns = window.as_nanos();
         let tasks: Vec<TaskObservation> = stalls_per_task
             .iter()
@@ -370,7 +365,10 @@ mod tests {
     fn two_tasks_disjoint_stalls_no_full() {
         let mut psi = PsiGroup::new(2);
         let mut a = TaskObservation::non_idle();
-        a.stall(Resource::Memory, IntervalSet::from_spans(&[(0, 250_000_000)]));
+        a.stall(
+            Resource::Memory,
+            IntervalSet::from_spans(&[(0, 250_000_000)]),
+        );
         let mut b = TaskObservation::non_idle();
         b.stall(
             Resource::Memory,
@@ -467,7 +465,11 @@ mod tests {
         let mut b = PsiGroup::new(1);
         a.observe_totals(
             secs(1),
-            &[[SimDuration::ZERO, SimDuration::from_millis(300), SimDuration::ZERO]],
+            &[[
+                SimDuration::ZERO,
+                SimDuration::from_millis(300),
+                SimDuration::ZERO,
+            ]],
         );
         let mut t = TaskObservation::non_idle();
         t.stall(
@@ -544,7 +546,10 @@ mod tests {
             ),
         );
         // Calm windows do not fire.
-        psi.observe(SimDuration::from_millis(100), &[TaskObservation::non_idle()]);
+        psi.observe(
+            SimDuration::from_millis(100),
+            &[TaskObservation::non_idle()],
+        );
         assert!(psi.fired_triggers().is_empty());
         // A burst of heavy stall does.
         let mut fired = false;

@@ -193,9 +193,7 @@ pub fn union_all<'a>(sets: impl IntoIterator<Item = &'a IntervalSet>) -> Interva
 /// Computes the intersection of many sets; `None` when the iterator is
 /// empty (an empty intersection over zero sets is undefined — callers
 /// decide what that means for them).
-pub fn intersect_all<'a>(
-    sets: impl IntoIterator<Item = &'a IntervalSet>,
-) -> Option<IntervalSet> {
+pub fn intersect_all<'a>(sets: impl IntoIterator<Item = &'a IntervalSet>) -> Option<IntervalSet> {
     let mut iter = sets.into_iter();
     let first = iter.next()?.clone();
     Some(iter.fold(first, |acc, s| acc.intersect(s)))

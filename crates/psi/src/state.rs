@@ -119,13 +119,7 @@ impl StateTracker {
 
     /// Marks a task (un)stalled on `resource` at `now` — the
     /// `psi_task_change` event.
-    pub fn set_stalled(
-        &mut self,
-        now: SimTime,
-        task: TaskId,
-        resource: Resource,
-        stalled: bool,
-    ) {
+    pub fn set_stalled(&mut self, now: SimTime, task: TaskId, resource: Resource, stalled: bool) {
         self.advance(now);
         let state = self.tasks.entry(task).or_default();
         state.stalled[resource_index(resource)] = stalled;

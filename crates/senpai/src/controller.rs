@@ -142,9 +142,7 @@ impl Senpai {
             limited = Some(Limiter::IoPressure);
         }
 
-        let mut reclaim = signal
-            .current_mem
-            .mul_f64(self.config.reclaim_ratio * term);
+        let mut reclaim = signal.current_mem.mul_f64(self.config.reclaim_ratio * term);
 
         // §4.5 write-endurance regulation: scale the step down as the
         // device write rate approaches the limit.
@@ -337,10 +335,13 @@ mod tests {
     #[test]
     fn decide_all_maps_each_signal() {
         let s = senpai();
-        let out = s.decide_all(&[calm(), ContainerSignal {
-            protected: true,
-            ..calm()
-        }]);
+        let out = s.decide_all(&[
+            calm(),
+            ContainerSignal {
+                protected: true,
+                ..calm()
+            },
+        ]);
         assert_eq!(out.len(), 2);
         assert!(out[0].reclaim > ByteSize::ZERO);
         assert_eq!(out[1].reclaim, ByteSize::ZERO);

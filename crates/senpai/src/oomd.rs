@@ -98,10 +98,7 @@ impl OomdMonitor {
             self.sustained.insert(container, SimDuration::ZERO);
             return None;
         }
-        let acc = self
-            .sustained
-            .entry(container)
-            .or_insert(SimDuration::ZERO);
+        let acc = self.sustained.entry(container).or_insert(SimDuration::ZERO);
         *acc += dt;
         if *acc >= self.config.sustain {
             let decision = KillDecision {

@@ -37,8 +37,8 @@ pub mod time;
 pub mod units;
 
 pub use clock::Clock;
-pub use rng::DetRng;
-pub use stats::{P2Quantile, Welford};
+pub use rng::{derive_host_seed, DetRng};
 pub use series::{Recorder, Sample, Series};
+pub use stats::{P2Quantile, Welford};
 pub use time::{SimDuration, SimTime};
 pub use units::{ByteSize, PageCount};

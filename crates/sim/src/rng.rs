@@ -37,6 +37,32 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Derives the machine seed for one host of a multi-host fleet from the
+/// experiment-level seed and the host's index.
+///
+/// The mapping is a pure function of `(experiment_seed, host_index)` —
+/// independent of worker count, scheduling order, or any RNG state — so
+/// a fleet sharded over N threads draws exactly the same per-host
+/// streams as a sequential run. Two SplitMix64 steps mix each input so
+/// that neighbouring hosts (and neighbouring experiment seeds) get
+/// decorrelated streams.
+///
+/// # Example
+///
+/// ```
+/// use tmo_sim::rng::derive_host_seed;
+///
+/// assert_eq!(derive_host_seed(900, 3), derive_host_seed(900, 3));
+/// assert_ne!(derive_host_seed(900, 3), derive_host_seed(900, 4));
+/// assert_ne!(derive_host_seed(900, 3), derive_host_seed(901, 3));
+/// ```
+pub fn derive_host_seed(experiment_seed: u64, host_index: u64) -> u64 {
+    let mut state = experiment_seed;
+    let mixed_experiment = splitmix64(&mut state);
+    let mut state = host_index ^ mixed_experiment.rotate_left(17);
+    splitmix64(&mut state) ^ mixed_experiment
+}
+
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
@@ -62,10 +88,7 @@ impl DetRng {
     /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -249,7 +272,10 @@ impl Zipf {
     /// Draws a 0-based rank.
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         let u = rng.uniform();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -304,8 +330,7 @@ mod tests {
         let mut rng = DetRng::seed_from_u64(6);
         for target in [0.5, 4.0, 100.0] {
             let n = 20_000;
-            let mean: f64 =
-                (0..n).map(|_| rng.poisson(target) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n).map(|_| rng.poisson(target) as f64).sum::<f64>() / n as f64;
             assert!(
                 (mean - target).abs() < target.max(1.0) * 0.07,
                 "target {target} mean {mean}"

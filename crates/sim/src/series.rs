@@ -8,12 +8,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimTime;
 
 /// One `(time, value)` sample of a metric.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
     /// Simulated time of the observation, in seconds since run start.
     pub time_secs: f64,
@@ -34,7 +32,7 @@ pub struct Sample {
 /// assert_eq!(s.len(), 2);
 /// assert!((s.mean() - 645.0).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Series {
     name: String,
     samples: Vec<Sample>,
@@ -97,12 +95,17 @@ impl Series {
 
     /// Minimum value (0.0 when empty).
     pub fn min(&self) -> f64 {
-        self.values().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_finite()
+        self.values()
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
+            .pipe_finite()
     }
 
     /// Maximum value (0.0 when empty).
     pub fn max(&self) -> f64 {
-        self.values().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+        self.values()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .pipe_finite()
     }
 
     /// The `q`-quantile (0.0..=1.0) by nearest-rank on sorted values;
@@ -178,7 +181,7 @@ impl PipeFinite for f64 {
 /// rec.record("psi.some", SimTime::from_secs(12), 0.10);
 /// assert_eq!(rec.series("psi.some").expect("recorded").len(), 2);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Recorder {
     series: BTreeMap<String, Series>,
 }

@@ -139,8 +139,7 @@ impl P2Quantile {
     fn linear(&self, i: usize, sign: f64) -> f64 {
         let j = (i as f64 + sign) as usize;
         self.heights[i]
-            + sign * (self.heights[j] - self.heights[i])
-                / (self.positions[j] - self.positions[i])
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
     }
 
     /// Current quantile estimate. Before five samples arrive this is
@@ -288,8 +287,8 @@ mod tests {
             w.observe(x);
         }
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
-            / (samples.len() - 1) as f64;
+        let var =
+            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64;
         assert!((w.mean() - mean).abs() < 1e-9);
         assert!((w.variance() - var).abs() / var < 1e-9);
     }

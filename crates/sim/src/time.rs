@@ -189,7 +189,10 @@ impl SimDuration {
     ///
     /// Panics in debug builds if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        debug_assert!(factor >= 0.0 && factor.is_finite(), "invalid factor {factor}");
+        debug_assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "invalid factor {factor}"
+        );
         SimDuration((self.0 as f64 * factor.max(0.0)) as u64)
     }
 }
@@ -349,14 +352,20 @@ mod tests {
         assert_eq!(early.saturating_since(late), SimDuration::ZERO);
         assert_eq!(late.saturating_since(early), SimDuration::from_secs(4));
         let d = SimDuration::from_secs(1);
-        assert_eq!(d.saturating_sub(SimDuration::from_secs(2)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn from_secs_f64_handles_edge_cases() {
         assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl ByteSize {
 
     /// Scales by a non-negative float factor, truncating to whole bytes.
     pub fn mul_f64(self, factor: f64) -> ByteSize {
-        debug_assert!(factor >= 0.0 && factor.is_finite(), "invalid factor {factor}");
+        debug_assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "invalid factor {factor}"
+        );
         ByteSize((self.0 as f64 * factor.max(0.0)) as u64)
     }
 

@@ -7,8 +7,6 @@
 //! [`AccessTrace`] pins the workload: record the per-tick, per-class
 //! touch counts once, then replay the identical stream into every tier.
 
-use serde::{Deserialize, Serialize};
-
 use tmo_sim::{DetRng, SimDuration};
 
 use crate::temperature::AccessPlanner;
@@ -38,7 +36,7 @@ pub type TickPlan = Vec<u64>;
 /// let first = replay.next().expect("has ticks");
 /// assert_eq!(first, trace.tick(0).expect("in range"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AccessTrace {
     /// Tick length the trace was recorded at (nanoseconds).
     tick_nanos: u64,
@@ -112,18 +110,154 @@ impl AccessTrace {
         }
     }
 
-    /// Serialises the trace as JSON.
+    /// Serialises the trace as JSON:
+    /// `{"tick_nanos":N,"ticks":[[..],[..]]}`.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serialises")
+        let mut out = String::with_capacity(32 + self.ticks.len() * 8);
+        out.push_str("{\"tick_nanos\":");
+        out.push_str(&self.tick_nanos.to_string());
+        out.push_str(",\"ticks\":[");
+        for (i, plan) in self.ticks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, count) in plan.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&count.to_string());
+            }
+            out.push(']');
+        }
+        out.push_str("]}");
+        out
     }
 
-    /// Loads a trace from JSON.
+    /// Loads a trace from JSON produced by [`AccessTrace::to_json`]
+    /// (whitespace between tokens is tolerated).
     ///
     /// # Errors
     ///
-    /// Returns the underlying parse error message on malformed input.
+    /// Returns a parse error message on malformed input.
     pub fn from_json(json: &str) -> Result<Self, String> {
-        serde_json::from_str(json).map_err(|e| e.to_string())
+        let mut p = JsonParser::new(json);
+        p.expect('{')?;
+        p.expect_key("tick_nanos")?;
+        let tick_nanos = p.parse_u64()?;
+        p.expect(',')?;
+        p.expect_key("ticks")?;
+        p.expect('[')?;
+        let mut ticks = Vec::new();
+        if !p.try_consume(']') {
+            loop {
+                p.expect('[')?;
+                let mut plan = TickPlan::new();
+                if !p.try_consume(']') {
+                    loop {
+                        plan.push(p.parse_u64()?);
+                        if p.try_consume(']') {
+                            break;
+                        }
+                        p.expect(',')?;
+                    }
+                }
+                ticks.push(plan);
+                if p.try_consume(']') {
+                    break;
+                }
+                p.expect(',')?;
+            }
+        }
+        p.expect('}')?;
+        p.expect_end()?;
+        Ok(AccessTrace { tick_nanos, ticks })
+    }
+}
+
+/// Minimal cursor over the fixed JSON shape `to_json` emits.
+struct JsonParser<'a> {
+    rest: &'a str,
+    offset: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(input: &'a str) -> Self {
+        JsonParser {
+            rest: input,
+            offset: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest.trim_start();
+        self.offset += self.rest.len() - trimmed.len();
+        self.rest = trimmed;
+    }
+
+    fn err(&self, wanted: &str) -> String {
+        format!("expected {wanted} at byte {} of trace JSON", self.offset)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.try_consume(c) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("`{c}`")))
+        }
+    }
+
+    fn try_consume(&mut self, c: char) -> bool {
+        self.skip_ws();
+        match self.rest.strip_prefix(c) {
+            Some(rest) => {
+                self.offset += c.len_utf8();
+                self.rest = rest;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn expect_key(&mut self, key: &str) -> Result<(), String> {
+        self.skip_ws();
+        let quoted = format!("\"{key}\"");
+        match self.rest.strip_prefix(&quoted) {
+            Some(rest) => {
+                self.offset += quoted.len();
+                self.rest = rest;
+                self.expect(':')
+            }
+            None => Err(self.err(&format!("key {quoted}"))),
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let digits = self.rest.len()
+            - self
+                .rest
+                .trim_start_matches(|c: char| c.is_ascii_digit())
+                .len();
+        if digits == 0 {
+            return Err(self.err("a number"));
+        }
+        let (num, rest) = self.rest.split_at(digits);
+        let value = num
+            .parse::<u64>()
+            .map_err(|e| format!("{} at byte {}", e, self.offset))?;
+        self.offset += digits;
+        self.rest = rest;
+        Ok(value)
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(self.err("end of input"))
+        }
     }
 }
 
@@ -230,10 +364,7 @@ mod tests {
 
     #[test]
     fn totals_match_sum_of_plans() {
-        let trace = AccessTrace::from_ticks(
-            tick(),
-            vec![vec![5, 0], vec![2, 3], vec![0, 0]],
-        );
+        let trace = AccessTrace::from_ticks(tick(), vec![vec![5, 0], vec![2, 3], vec![0, 0]]);
         assert_eq!(trace.total_accesses(), 10);
         assert_eq!(trace.tick_len(), tick());
     }

@@ -161,17 +161,13 @@ mod tests {
         // §2.2: "the memory offloading opportunity ... averages about
         // 35%, but varies wildly ... in a range of 19-62%".
         let apps = figure2_apps();
-        let avg: f64 =
-            apps.iter().map(|a| a.cold_fraction()).sum::<f64>() / apps.len() as f64;
+        let avg: f64 = apps.iter().map(|a| a.cold_fraction()).sum::<f64>() / apps.len() as f64;
         assert!((avg - 0.35).abs() < 0.03, "avg cold {avg}");
         let min = apps
             .iter()
             .map(|a| a.cold_fraction())
             .fold(f64::INFINITY, f64::min);
-        let max = apps
-            .iter()
-            .map(|a| a.cold_fraction())
-            .fold(0.0, f64::max);
+        let max = apps.iter().map(|a| a.cold_fraction()).fold(0.0, f64::max);
         assert!((min - 0.19).abs() < 1e-9);
         assert!((max - 0.62).abs() < 1e-9);
     }

@@ -46,7 +46,10 @@ impl AppProfile {
             (0.0..=1.0).contains(&anon_fraction),
             "anon fraction {anon_fraction} out of [0, 1]"
         );
-        assert!(compress_ratio >= 1.0, "compression ratio {compress_ratio} < 1");
+        assert!(
+            compress_ratio >= 1.0,
+            "compression ratio {compress_ratio} < 1"
+        );
         assert!(!classes.is_empty(), "profile needs temperature classes");
         assert!(tasks > 0, "profile needs at least one task");
         AppProfile {

@@ -76,7 +76,11 @@ mod tests {
     #[test]
     fn tax_is_mostly_cold() {
         let dc = datacenter_tax(ByteSize::from_gib(64));
-        assert!(dc.cold_fraction() >= 0.5, "dc tax cold {}", dc.cold_fraction());
+        assert!(
+            dc.cold_fraction() >= 0.5,
+            "dc tax cold {}",
+            dc.cold_fraction()
+        );
         let micro = microservice_tax(ByteSize::from_gib(64));
         assert!(micro.cold_fraction() >= 0.4);
     }

@@ -113,8 +113,7 @@ impl AccessPlanner {
             .iter()
             .zip(&self.pages_per_class)
             .map(|(class, &pages)| {
-                let mean =
-                    pages as f64 * dt.as_secs_f64() / class.reaccess.as_secs_f64();
+                let mean = pages as f64 * dt.as_secs_f64() / class.reaccess.as_secs_f64();
                 rng.poisson(mean)
             })
             .collect()
@@ -303,7 +302,10 @@ mod tests {
         // full-footprint case instead.
         let planner = AccessPlanner::new(zipf_classes(10, 1.0, total_rate), 10_000);
         let rate_full = planner.expected_rate() / 10_000.0;
-        assert!((rate_full - total_rate).abs() / total_rate < 0.01, "rate {rate_full}");
+        assert!(
+            (rate_full - total_rate).abs() / total_rate < 0.01,
+            "rate {rate_full}"
+        );
         let _ = rate;
     }
 

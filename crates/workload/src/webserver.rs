@@ -198,7 +198,9 @@ impl WebServerModel {
                 * (free_fraction / self.config.memory_watermark).clamp(0.6, 1.0);
             self.rps = self.rps.min(cap);
         }
-        self.rps = self.rps.clamp(self.config.max_rps * 0.02, self.config.max_rps);
+        self.rps = self
+            .rps
+            .clamp(self.config.max_rps * 0.02, self.config.max_rps);
     }
 }
 

@@ -14,8 +14,8 @@
 //! ```
 
 use tmo::prelude::*;
-use tmo_repro::{tmo, tmo_mm};
 use tmo_mm::render::render_memory_stat;
+use tmo_repro::{tmo, tmo_mm};
 
 fn run_variant(buggy: bool, senpai: bool) -> (f64, f64, u64) {
     let mut machine = Machine::new(MachineConfig {
@@ -72,9 +72,7 @@ fn main() {
     println!("  -> Senpai continuously trims the never-read pages; the leak is contained\n");
 
     let (fixed_res, fixed_file, _) = run_variant(false, true);
-    println!(
-        "fixed + TMO:        resident {fixed_res:6.0} MiB  file cache {fixed_file:6.0} MiB"
-    );
+    println!("fixed + TMO:        resident {fixed_res:6.0} MiB  file cache {fixed_file:6.0} MiB");
     let saved = 1.0 - fixed_res / buggy_res.max(1.0);
     println!(
         "\nfixing the extraction saved {:.0}% of the buggy variant's memory\n\

@@ -52,7 +52,10 @@ fn main() {
         apps::analytics(),
         apps::ads_c(),
     ];
-    println!("running {} hosts (5 simulated minutes each)...\n", workloads.len());
+    println!(
+        "running {} hosts (5 simulated minutes each)...\n",
+        workloads.len()
+    );
 
     let mut hosts = Vec::new();
     for (i, w) in workloads.iter().enumerate() {

@@ -7,8 +7,8 @@
 //! ```
 
 use tmo::prelude::*;
-use tmo_repro::{tmo, tmo_psi};
 use tmo_psi::render_pressure_file;
+use tmo_repro::{tmo, tmo_psi};
 
 fn main() {
     let mut machine = Machine::new(MachineConfig {

@@ -59,8 +59,7 @@ fn run_tier(label: &str, swap: SwapKind, senpai: bool) -> (f64, f64, f64) {
 fn main() {
     println!("Web on a memory-bound 512 MiB host, three tiers (6 simulated minutes):\n");
     let (_, base_late, base_res) = run_tier("baseline (no offload)", SwapKind::None, false);
-    let (_, ssd_late, ssd_res) =
-        run_tier("TMO, SSD model C", SwapKind::Ssd(SsdModel::C), true);
+    let (_, ssd_late, ssd_res) = run_tier("TMO, SSD model C", SwapKind::Ssd(SsdModel::C), true);
     let (_, z_late, z_res) = run_tier(
         "TMO, zswap (zsmalloc)",
         SwapKind::Zswap {

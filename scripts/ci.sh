@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lint gates. Run from anywhere; operates on
+# the repo root. All cargo invocations are --offline: every dependency
+# is a workspace path crate (including the proptest/criterion shims
+# under shims/), so no registry access is ever needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test -q"
+cargo test -q --workspace --offline
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -- -D warnings"
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping"
+fi
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+else
+    echo "==> rustfmt not installed; skipping"
+fi
+
+echo "==> ci.sh: all gates passed"

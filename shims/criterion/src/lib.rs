@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal harness that is API-compatible with the
+//! subset of criterion the bench crates use: `Criterion`,
+//! `benchmark_group` with `sample_size`/`warm_up_time`/
+//! `measurement_time`, `bench_function`, `Bencher::iter`/
+//! `iter_with_setup`, and the `criterion_group!`/`criterion_main!`
+//! macros. It reports mean wall-clock time per iteration; there is no
+//! statistical analysis, HTML report, or regression detection.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+            warm_up_time: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(
+            f,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+        );
+        eprintln!("{:<44} {report}", name.into());
+        self
+    }
+}
+
+/// A named group of benchmarks sharing timing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    warm_up_time: Option<Duration>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Time spent running untimed warm-up iterations.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = Some(d);
+        self
+    }
+
+    /// Time budget for the timed samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Times one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(
+            f,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
+            self.measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+        );
+        eprintln!("  {}/{:<40} {report}", self.name, name.into());
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure to drive the timed loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called `iters` times back-to-back.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` only, re-running `setup` untimed before each call.
+    pub fn iter_with_setup<S, R, Setup, F>(&mut self, mut setup: Setup, mut routine: F)
+    where
+        Setup: FnMut() -> S,
+        F: FnMut(S) -> R,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn run_bench<F>(
+    mut f: F,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+) -> String
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: single iterations until the warm-up budget is spent, also
+    // establishing a per-iteration estimate.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut one = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warm_start.elapsed() < warm_up_time || warm_iters == 0 {
+        f(&mut one);
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed() / warm_iters as u32;
+
+    // Size samples so all of them fit the measurement budget.
+    let budget_per_sample = measurement_time / sample_size.max(1) as u32;
+    let iters = if per_iter.is_zero() {
+        1000
+    } else {
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64
+    };
+
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    let mut timed_iters = 0u64;
+    for _ in 0..sample_size.max(1) {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        best = best.min(b.elapsed / iters as u32);
+        timed_iters += iters;
+    }
+    let mean = total / timed_iters as u32;
+    format!("mean {mean:>12.2?}   best {best:>12.2?}   ({timed_iters} iters)")
+}
+
+/// Bundles benchmark functions into a callable group, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(2));
+        group.bench_function("iter", |b| b.iter(|| black_box(2u64 + 2)));
+        group.bench_function("with_setup", |b| {
+            b.iter_with_setup(|| vec![1u64, 2, 3], |v| v.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(shim_group, sample_bench);
+
+    #[test]
+    fn harness_runs_benches() {
+        shim_group();
+    }
+}

@@ -19,9 +19,8 @@ fn zswap_machine(dram_mib: u64, seed: u64) -> Machine {
 #[test]
 fn full_pipeline_converges_to_mild_pressure() {
     let mut machine = zswap_machine(256, 11);
-    let id = machine.add_container(
-        &tmo_workload::apps::feed().with_mem_total(ByteSize::from_mib(128)),
-    );
+    let id =
+        machine.add_container(&tmo_workload::apps::feed().with_mem_total(ByteSize::from_mib(128)));
     let mut rt = TmoRuntime::with_senpai(machine, SenpaiConfig::accelerated(40.0));
     rt.run(SimDuration::from_mins(4));
 
@@ -43,9 +42,8 @@ fn full_pipeline_converges_to_mild_pressure() {
 fn whole_stack_is_deterministic() {
     let run = |seed: u64| {
         let mut machine = zswap_machine(256, seed);
-        let id = machine.add_container(
-            &tmo_workload::apps::web().with_mem_total(ByteSize::from_mib(128)),
-        );
+        let id = machine
+            .add_container(&tmo_workload::apps::web().with_mem_total(ByteSize::from_mib(128)));
         let mut rt = TmoRuntime::with_senpai(machine, SenpaiConfig::accelerated(40.0));
         rt.run(SimDuration::from_mins(2));
         let m = rt.machine();
@@ -54,10 +52,7 @@ fn whole_stack_is_deterministic() {
             stat.resident().as_u64(),
             stat.swapins_total,
             stat.refaults_total,
-            m.container(id)
-                .psi()
-                .snapshot(Resource::Memory)
-                .some_total,
+            m.container(id).psi().snapshot(Resource::Memory).some_total,
         )
     };
     assert_eq!(run(99), run(99));
@@ -72,9 +67,8 @@ fn file_only_mode_never_touches_swap() {
         seed: 13,
         ..MachineConfig::default()
     });
-    let id = machine.add_container(
-        &tmo_workload::apps::analytics().with_mem_total(ByteSize::from_mib(128)),
-    );
+    let id = machine
+        .add_container(&tmo_workload::apps::analytics().with_mem_total(ByteSize::from_mib(128)));
     let mut rt = TmoRuntime::with_senpai(
         machine,
         SenpaiConfig {
@@ -105,9 +99,8 @@ fn heterogeneous_backends_shift_the_offload_equilibrium() {
             seed: 17,
             ..MachineConfig::default()
         });
-        let id = machine.add_container(
-            &tmo_workload::apps::web().with_mem_total(ByteSize::from_mib(160)),
-        );
+        let id = machine
+            .add_container(&tmo_workload::apps::web().with_mem_total(ByteSize::from_mib(160)));
         let mut rt = TmoRuntime::with_senpai(
             machine,
             SenpaiConfig {
@@ -150,9 +143,8 @@ fn multi_container_host_respects_priorities() {
             ..ContainerConfig::default()
         },
     );
-    let normal = machine.add_container(
-        &tmo_workload::apps::feed().with_mem_total(ByteSize::from_mib(96)),
-    );
+    let normal =
+        machine.add_container(&tmo_workload::apps::feed().with_mem_total(ByteSize::from_mib(96)));
     let mut rt = TmoRuntime::with_senpai(machine, SenpaiConfig::accelerated(40.0));
     rt.run(SimDuration::from_mins(3));
     let m = rt.machine();
@@ -168,9 +160,8 @@ fn multi_container_host_respects_priorities() {
 #[test]
 fn pressure_files_render_for_every_container() {
     let mut machine = zswap_machine(256, 23);
-    let id = machine.add_container(
-        &tmo_workload::apps::ads_a().with_mem_total(ByteSize::from_mib(96)),
-    );
+    let id =
+        machine.add_container(&tmo_workload::apps::ads_a().with_mem_total(ByteSize::from_mib(96)));
     machine.reclaim(id, ByteSize::from_mib(40));
     machine.run(SimDuration::from_secs(30));
     let psi = machine.container(id).psi();
@@ -192,19 +183,19 @@ fn swap_capped_device_reports_exhaustion_to_senpai() {
         seed: 29,
         ..MachineConfig::default()
     });
-    let id = machine.add_container(
-        &tmo_workload::apps::analytics().with_mem_total(ByteSize::from_mib(160)),
-    );
+    let id = machine
+        .add_container(&tmo_workload::apps::analytics().with_mem_total(ByteSize::from_mib(160)));
     // Ask for far more anon offload than the partition can hold.
     machine.reclaim(id, ByteSize::from_mib(80));
     machine.run(SimDuration::from_secs(10));
     machine.reclaim(id, ByteSize::from_mib(80));
     let signal = machine.senpai_signal(id);
-    assert!(signal.swap_full, "swap exhaustion must surface in the signal");
-    let stat = machine.mm().cgroup_stat(machine.container(id).cgroup());
     assert!(
-        stat.anon_offloaded.to_bytes(machine.config().page_size) <= ByteSize::from_mib(8)
+        signal.swap_full,
+        "swap exhaustion must surface in the signal"
     );
+    let stat = machine.mm().cgroup_stat(machine.container(id).cgroup());
+    assert!(stat.anon_offloaded.to_bytes(machine.config().page_size) <= ByteSize::from_mib(8));
 }
 
 #[test]
@@ -233,20 +224,17 @@ fn oomd_kills_a_container_driven_functionally_out_of_memory() {
     for _ in 0..300 {
         machine.reclaim(id, ByteSize::from_mib(64));
         machine.tick();
-        let full = machine
-            .container(id)
-            .psi()
-            .full_avg10(Resource::Memory);
-        if oomd
-            .observe(0, full, machine.config().tick)
-            .is_some()
-        {
+        let full = machine.container(id).psi().full_avg10(Resource::Memory);
+        if oomd.observe(0, full, machine.config().tick).is_some() {
             machine.kill_container(id);
             killed = true;
             break;
         }
     }
-    assert!(killed, "sustained full pressure must trigger the kill policy");
+    assert!(
+        killed,
+        "sustained full pressure must trigger the kill policy"
+    );
     assert!(!machine.is_alive(id));
     assert_eq!(
         machine
@@ -269,9 +257,7 @@ fn runtime_with_oomd_spares_healthy_containers() {
         seed: 37,
         ..MachineConfig::default()
     });
-    machine.add_container(
-        &tmo_workload::apps::feed().with_mem_total(ByteSize::from_mib(128)),
-    );
+    machine.add_container(&tmo_workload::apps::feed().with_mem_total(ByteSize::from_mib(128)));
     let mut rt = TmoRuntime::with_senpai(machine, SenpaiConfig::accelerated(40.0))
         .with_oomd(tmo_senpai::OomdConfig::default());
     rt.run(SimDuration::from_mins(2));
@@ -301,10 +287,7 @@ fn slices_group_containers_for_hierarchy_wide_control() {
         },
     );
     // The slice's memory.current covers both children.
-    assert_eq!(
-        machine.mm().memory_current(slice),
-        ByteSize::from_mib(192)
-    );
+    assert_eq!(machine.mm().memory_current(slice), ByteSize::from_mib(192));
     // A memory.reclaim write on the slice distributes across children.
     machine.mm_mut().reclaim(slice, ByteSize::from_mib(20));
     let a_res = machine
@@ -339,9 +322,8 @@ fn memory_low_shields_a_container_from_its_neighbours() {
             ..ContainerConfig::default()
         },
     );
-    let donor = machine.add_container(
-        &tmo_workload::apps::analytics().with_mem_total(ByteSize::from_mib(100)),
-    );
+    let donor = machine
+        .add_container(&tmo_workload::apps::analytics().with_mem_total(ByteSize::from_mib(100)));
     // A third container grows into the remaining DRAM, forcing global
     // direct reclaim. It stays smaller than the donor so the donor is
     // the preferred (largest unprotected) victim.
@@ -362,7 +344,10 @@ fn memory_low_shields_a_container_from_its_neighbours() {
             .as_u64()
             * machine.config().page_size.as_u64()
     };
-    assert!(machine.mm().global_stat().direct_reclaims > 0, "no squeeze happened");
+    assert!(
+        machine.mm().global_stat().direct_reclaims > 0,
+        "no squeeze happened"
+    );
     // The shielded container kept (almost) everything.
     assert!(
         res(shielded) >= ByteSize::from_mib(78).as_u64(),
@@ -381,7 +366,7 @@ fn memory_low_shields_a_container_from_its_neighbours() {
 #[test]
 fn pinned_traces_make_ab_tiers_see_identical_workloads() {
     use tmo_repro::tmo_sim::DetRng;
-    use tmo_workload::{AccessTrace, AccessPlanner};
+    use tmo_workload::{AccessPlanner, AccessTrace};
 
     // Record one access stream from the Web profile...
     let profile = tmo_workload::apps::web().with_mem_total(ByteSize::from_mib(128));
@@ -432,12 +417,10 @@ fn pinned_traces_make_ab_tiers_see_identical_workloads() {
 #[test]
 fn host_psi_aggregates_all_containers() {
     let mut machine = zswap_machine(512, 59);
-    let a = machine.add_container(
-        &tmo_workload::apps::feed().with_mem_total(ByteSize::from_mib(128)),
-    );
-    let b = machine.add_container(
-        &tmo_workload::apps::ads_a().with_mem_total(ByteSize::from_mib(128)),
-    );
+    let a =
+        machine.add_container(&tmo_workload::apps::feed().with_mem_total(ByteSize::from_mib(128)));
+    let b =
+        machine.add_container(&tmo_workload::apps::ads_a().with_mem_total(ByteSize::from_mib(128)));
     machine.reclaim(a, ByteSize::from_mib(48));
     machine.reclaim(b, ByteSize::from_mib(48));
     machine.run(SimDuration::from_secs(30));
@@ -506,9 +489,8 @@ fn nvm_backend_runs_the_full_stack() {
         seed: 71,
         ..MachineConfig::default()
     });
-    let id = machine.add_container(
-        &tmo_workload::apps::feed().with_mem_total(ByteSize::from_mib(128)),
-    );
+    let id =
+        machine.add_container(&tmo_workload::apps::feed().with_mem_total(ByteSize::from_mib(128)));
     let mut rt = TmoRuntime::with_senpai(
         machine,
         SenpaiConfig {

@@ -37,8 +37,7 @@ fn claim_s4_1_savings_differ_by_backend_fit() {
     let quantized_on_ssd = fig09::measure(&tmo_workload::apps::ml(), false, Scale::Quick);
     assert!(compressible.savings.total() > 0.03);
     assert!(
-        quantized_on_ssd.savings.anon_fraction
-            > quantized_on_zswap.savings.anon_fraction * 1.5,
+        quantized_on_ssd.savings.anon_fraction > quantized_on_zswap.savings.anon_fraction * 1.5,
         "ssd {} vs zswap {}",
         quantized_on_ssd.savings.anon_fraction,
         quantized_on_zswap.savings.anon_fraction
@@ -81,10 +80,8 @@ fn claim_s4_4_aggressive_config_regresses_through_io() {
 fn claim_s3_4_refault_balancing_reduces_paging() {
     // §3.4: balancing by refault/swap-in rates minimises the aggregate
     // amount of paging relative to the legacy file-first heuristic.
-    let balanced =
-        ablate::reclaim_balance(tmo_mm::ReclaimPolicy::RefaultBalanced, Scale::Quick);
-    let legacy =
-        ablate::reclaim_balance(tmo_mm::ReclaimPolicy::LegacyFileFirst, Scale::Quick);
+    let balanced = ablate::reclaim_balance(tmo_mm::ReclaimPolicy::RefaultBalanced, Scale::Quick);
+    let legacy = ablate::reclaim_balance(tmo_mm::ReclaimPolicy::LegacyFileFirst, Scale::Quick);
     assert!(
         legacy.refault_rate > balanced.refault_rate,
         "legacy refaults {} vs balanced {}",
