@@ -49,5 +49,5 @@ pub use nvm::NvmDevice;
 pub use queue::CongestionModel;
 pub use ssd::SsdDevice;
 pub use tiered::TieredBackend;
-pub use traits::{BackendKind, BackendStats, IoKind, OffloadBackend, StoreOutcome};
+pub use traits::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBackend, StoreOutcome};
 pub use zswap::{ZswapAllocator, ZswapPool};

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use tmo_sim::{ByteSize, DetRng, SimDuration};
 
-use crate::traits::{BackendKind, BackendStats, IoKind, OffloadBackend, StoreOutcome};
+use crate::traits::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBackend, StoreOutcome};
 
 /// A simulated byte-addressable NVM device (e.g. Optane DC PMM class).
 ///
@@ -35,6 +35,8 @@ pub struct NvmDevice {
     read_median: SimDuration,
     write_median: SimDuration,
     sigma: f64,
+    dead: bool,
+    worn_out: bool,
 }
 
 impl NvmDevice {
@@ -49,6 +51,8 @@ impl NvmDevice {
             read_median: SimDuration::from_micros(3),
             write_median: SimDuration::from_micros(8),
             sigma: 0.25,
+            dead: false,
+            worn_out: false,
         }
     }
 }
@@ -84,7 +88,7 @@ impl OffloadBackend for NvmDevice {
         _compress_ratio: f64,
         rng: &mut DetRng,
     ) -> Option<StoreOutcome> {
-        if self.available() < page_bytes {
+        if self.dead || self.worn_out || self.available() < page_bytes {
             return None;
         }
         let _ = self.access(IoKind::Write, page_bytes, rng);
@@ -101,6 +105,9 @@ impl OffloadBackend for NvmDevice {
     }
 
     fn load(&mut self, token: u64, rng: &mut DetRng) -> Option<SimDuration> {
+        if self.dead {
+            return None;
+        }
         let bytes = self.stored.remove(&token)?;
         self.stats.pages_stored -= 1;
         self.stats.bytes_stored -= bytes;
@@ -127,6 +134,23 @@ impl OffloadBackend for NvmDevice {
     }
 
     fn tick(&mut self, _dt: SimDuration) {}
+
+    fn inject(&mut self, fault: DeviceFault) {
+        match fault {
+            DeviceFault::Die => {
+                self.dead = true;
+                self.stored.clear();
+                self.stats.pages_stored = 0;
+                self.stats.bytes_stored = ByteSize::ZERO;
+            }
+            DeviceFault::WearOut | DeviceFault::ExhaustPool => self.worn_out = true,
+        }
+        self.stats.faults_injected += 1;
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use tmo_sim::{ByteSize, DetRng, SimDuration};
 
 use crate::queue::CongestionModel;
-use crate::traits::{BackendKind, BackendStats, IoKind, OffloadBackend, StoreOutcome};
+use crate::traits::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBackend, StoreOutcome};
 
 /// Quantile factor: p99 of a log-normal is `median * exp(2.326 * sigma)`.
 const Z99: f64 = 2.326;
@@ -101,6 +101,10 @@ pub struct SsdDevice {
     /// Media bytes physically written (host bytes × write amplification),
     /// the quantity that actually consumes endurance.
     media_bytes_written: f64,
+    /// Permanent device death: stored data lost, all I/O fails.
+    dead: bool,
+    /// Endurance exhausted: the device is read-only.
+    worn_out: bool,
 }
 
 impl SsdDevice {
@@ -123,6 +127,8 @@ impl SsdDevice {
             write_bytes_this_tick: 0,
             write_rate_bps: 0.0,
             media_bytes_written: 0.0,
+            dead: false,
+            worn_out: false,
         }
     }
 
@@ -206,7 +212,7 @@ impl OffloadBackend for SsdDevice {
         _compress_ratio: f64,
         rng: &mut DetRng,
     ) -> Option<StoreOutcome> {
-        if self.available() < page_bytes {
+        if self.dead || self.worn_out || self.available() < page_bytes {
             return None;
         }
         // Page-out is asynchronous write-behind: the write costs device
@@ -225,6 +231,9 @@ impl OffloadBackend for SsdDevice {
     }
 
     fn load(&mut self, token: u64, rng: &mut DetRng) -> Option<SimDuration> {
+        if self.dead {
+            return None;
+        }
         let bytes = self.stored.remove(&token)?;
         self.stats.pages_stored -= 1;
         self.stats.bytes_stored -= bytes;
@@ -266,6 +275,29 @@ impl OffloadBackend for SsdDevice {
     /// the paper's "1 MB/s" regulation threshold).
     fn write_rate_mbps(&self) -> f64 {
         self.write_rate_bps / 1e6
+    }
+
+    fn inject(&mut self, fault: DeviceFault) {
+        match fault {
+            DeviceFault::Die => {
+                self.dead = true;
+                self.stored.clear();
+                self.stats.pages_stored = 0;
+                self.stats.bytes_stored = ByteSize::ZERO;
+            }
+            DeviceFault::WearOut => {
+                // Burn the whole pTBW budget: the device goes read-only.
+                self.worn_out = true;
+                self.media_bytes_written =
+                    self.media_bytes_written.max(self.spec.endurance_pbw * 1e15);
+            }
+            DeviceFault::ExhaustPool => self.worn_out = true,
+        }
+        self.stats.faults_injected += 1;
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead
     }
 }
 

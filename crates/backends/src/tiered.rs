@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use tmo_sim::{ByteSize, DetRng, SimDuration};
 
 use crate::ssd::SsdDevice;
-use crate::traits::{BackendKind, BackendStats, IoKind, OffloadBackend, StoreOutcome};
+use crate::traits::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBackend, StoreOutcome};
 use crate::zswap::ZswapPool;
 
 /// Which tier currently holds a page.
@@ -72,6 +72,8 @@ pub struct TieredBackend {
     clock: SimDuration,
     /// Cumulative pages demoted warm → cold.
     demotions: u64,
+    /// Stores redirected to the SSD because the zswap tier died.
+    failovers: u64,
     rng: DetRng,
 }
 
@@ -105,6 +107,7 @@ impl TieredBackend {
             next_token: 0,
             clock: SimDuration::ZERO,
             demotions: 0,
+            failovers: 0,
             rng: DetRng::seed_from_u64(0x7EE7),
         }
     }
@@ -186,13 +189,23 @@ impl OffloadBackend for TieredBackend {
         rng: &mut DetRng,
     ) -> Option<StoreOutcome> {
         let (tier, out) = if compress_ratio >= self.min_compress_ratio {
-            match self.warm.store(page_bytes, compress_ratio, rng) {
-                Some(out) => (Tier::Warm, out),
-                // Warm tier full: overflow to the SSD.
-                None => (
+            if self.warm.is_dead() {
+                // Warm tier died: fail over to the SSD (§5.2 hierarchy
+                // degrades zswap → SSD → no-offload).
+                self.failovers += 1;
+                (
                     Tier::Cold,
                     self.cold.store(page_bytes, compress_ratio, rng)?,
-                ),
+                )
+            } else {
+                match self.warm.store(page_bytes, compress_ratio, rng) {
+                    Some(out) => (Tier::Warm, out),
+                    // Warm tier full: overflow to the SSD.
+                    None => (
+                        Tier::Cold,
+                        self.cold.store(page_bytes, compress_ratio, rng)?,
+                    ),
+                }
             }
         } else {
             (
@@ -250,6 +263,10 @@ impl OffloadBackend for TieredBackend {
             // machine charges `bytes_stored` of a Zswap-kind backend
             // against DRAM, and SSD bytes must not count there.
             bytes_stored: w.bytes_stored,
+            io_errors: w.io_errors + c.io_errors,
+            retries: w.retries + c.retries,
+            failovers: w.failovers + c.failovers + self.failovers,
+            faults_injected: w.faults_injected + c.faults_injected,
         }
     }
 
@@ -278,6 +295,31 @@ impl OffloadBackend for TieredBackend {
 
     fn write_rate_mbps(&self) -> f64 {
         self.cold.write_rate_mbps()
+    }
+
+    fn inject(&mut self, fault: DeviceFault) {
+        match fault {
+            // Death takes out the zswap tier first; a second death kills
+            // the SSD as well, after which the whole hierarchy is dead
+            // and the caller degrades to no-offload.
+            DeviceFault::Die => {
+                if self.warm.is_dead() {
+                    self.entries.retain(|_, e| e.tier != Tier::Cold);
+                    self.cold.inject(fault);
+                } else {
+                    self.entries.retain(|_, e| e.tier != Tier::Warm);
+                    self.warm.inject(fault);
+                }
+            }
+            // Endurance wear-out is an SSD concern.
+            DeviceFault::WearOut => self.cold.inject(fault),
+            // Pool exhaustion is a zswap concern.
+            DeviceFault::ExhaustPool => self.warm.inject(fault),
+        }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.warm.is_dead() && self.cold.is_dead()
     }
 }
 

@@ -63,6 +63,33 @@ pub struct BackendStats {
     pub pages_stored: u64,
     /// Backend capacity currently consumed.
     pub bytes_stored: ByteSize,
+    /// Transient I/O errors encountered (each resolved by retry).
+    pub io_errors: u64,
+    /// Retry attempts spent recovering from transient errors.
+    pub retries: u64,
+    /// Stores redirected around a dead tier (tiered failover).
+    pub failovers: u64,
+    /// Permanent faults injected into the device (death / wear-out /
+    /// pool exhaustion).
+    pub faults_injected: u64,
+}
+
+/// A permanent fault injected into a backend device.
+///
+/// Devices honour these via [`OffloadBackend::inject`]; the default
+/// trait implementation ignores them, so fault injection is strictly
+/// opt-in per backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceFault {
+    /// Permanent device death: stored data is lost, every subsequent
+    /// store and load fails.
+    Die,
+    /// Write-endurance exhaustion (§4.5): the device refuses further
+    /// writes but still serves reads of already-stored pages.
+    WearOut,
+    /// Pool/capacity exhaustion (e.g. a zswap pool whose DRAM budget
+    /// was revoked): no further stores, existing pages still load.
+    ExhaustPool,
 }
 
 /// A slow-memory tier that holds offloaded pages.
@@ -120,6 +147,19 @@ pub trait OffloadBackend: fmt::Debug + Send {
     /// Zero for backends without an endurance concern.
     fn write_rate_mbps(&self) -> f64 {
         0.0
+    }
+
+    /// Injects a permanent fault. The default implementation ignores
+    /// it — only devices that model the fault opt in.
+    fn inject(&mut self, fault: DeviceFault) {
+        let _ = fault;
+    }
+
+    /// Whether the device has permanently died ([`DeviceFault::Die`]).
+    /// Dead devices fail every store and load; callers are expected to
+    /// fail over or degrade to no-offload rather than panic.
+    fn is_dead(&self) -> bool {
+        false
     }
 }
 

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use tmo_sim::{ByteSize, DetRng, SimDuration};
 
-use crate::traits::{BackendKind, BackendStats, IoKind, OffloadBackend, StoreOutcome};
+use crate::traits::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBackend, StoreOutcome};
 
 /// The zswap pool allocator models the paper compared in §5.1.
 ///
@@ -104,6 +104,10 @@ pub struct ZswapPool {
     /// Median compression-side store latency.
     write_median: SimDuration,
     latency_sigma: f64,
+    /// Permanent death: pool contents lost, all stores/loads fail.
+    dead: bool,
+    /// Pool exhaustion injected: stores fail, loads still work.
+    store_failed: bool,
 }
 
 /// z-score of the 90th percentile of a standard normal.
@@ -126,6 +130,8 @@ impl ZswapPool {
             read_median,
             write_median: SimDuration::from_micros(15),
             latency_sigma: sigma,
+            dead: false,
+            store_failed: false,
         }
     }
 
@@ -176,6 +182,9 @@ impl OffloadBackend for ZswapPool {
         compress_ratio: f64,
         rng: &mut DetRng,
     ) -> Option<StoreOutcome> {
+        if self.dead || self.store_failed {
+            return None;
+        }
         let stored_bytes = self.allocator.stored_size(page_bytes, compress_ratio);
         if self.available() < stored_bytes {
             return None;
@@ -195,6 +204,9 @@ impl OffloadBackend for ZswapPool {
     }
 
     fn load(&mut self, token: u64, rng: &mut DetRng) -> Option<SimDuration> {
+        if self.dead {
+            return None;
+        }
         let bytes = self.stored.remove(&token)?;
         self.stats.pages_stored -= 1;
         self.stats.bytes_stored -= bytes;
@@ -222,6 +234,26 @@ impl OffloadBackend for ZswapPool {
 
     fn tick(&mut self, _dt: SimDuration) {
         // DRAM has no congestion or endurance model.
+    }
+
+    fn inject(&mut self, fault: DeviceFault) {
+        match fault {
+            DeviceFault::Die => {
+                // Pool contents are DRAM; death loses them all.
+                self.dead = true;
+                self.stored.clear();
+                self.stats.pages_stored = 0;
+                self.stats.bytes_stored = ByteSize::ZERO;
+            }
+            // Wear-out does not apply to DRAM, but the observable
+            // consequence (no further stores) is the same as exhaustion.
+            DeviceFault::WearOut | DeviceFault::ExhaustPool => self.store_failed = true,
+        }
+        self.stats.faults_injected += 1;
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead
     }
 }
 

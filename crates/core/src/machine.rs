@@ -1,9 +1,10 @@
 //! One simulated datacenter host.
 
 use tmo_backends::{NvmDevice, OffloadBackend, SsdModel, ZswapAllocator, ZswapPool};
+use tmo_faults::{FaultConfig, FaultPlan, FaultyBackend, HostFaults, SignalFate};
 use tmo_mm::{MemoryManager, MmConfig, PageKind, ReclaimOutcome, ReclaimPolicy};
 use tmo_psi::{IntervalSet, PsiGroup, Resource, TaskObservation};
-use tmo_senpai::ContainerSignal;
+use tmo_senpai::{ContainerSignal, OomdSignal};
 use tmo_sim::{ByteSize, Clock, DetRng, Recorder, SimDuration, SimTime};
 use tmo_workload::{AccessPlanner, AppProfile, WebServerModel};
 
@@ -67,6 +68,11 @@ pub struct MachineConfig {
     pub access_cpu: SimDuration,
     /// Run seed: every stochastic draw derives from it.
     pub seed: u64,
+    /// Deterministic fault injection (chaos experiments). `None` — and
+    /// a config whose intensity is zero — leaves the host fault-free.
+    /// The fault schedule derives purely from `seed`, so it is as
+    /// reproducible as the rest of the run.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for MachineConfig {
@@ -81,6 +87,7 @@ impl Default for MachineConfig {
             tick: SimDuration::from_millis(100),
             access_cpu: SimDuration::from_micros(20),
             seed: 42,
+            faults: None,
         }
     }
 }
@@ -135,6 +142,11 @@ pub struct Machine {
     swap_lat_p90: tmo_sim::P2Quantile,
     swap_lat_p99: tmo_sim::P2Quantile,
     swap_lat_mean: tmo_sim::Welford,
+    /// Host-level fault schedule (signal loss, crash churn, panics);
+    /// `None` when the run is fault-free.
+    host_faults: Option<HostFaults>,
+    /// Last fresh Senpai signal per container, replayed on stale reads.
+    signal_cache: Vec<Option<ContainerSignal>>,
 }
 
 impl Machine {
@@ -147,6 +159,9 @@ impl Machine {
     pub fn new(config: MachineConfig) -> Self {
         assert!(config.cpus > 0, "a machine needs CPUs");
         let mut seed_rng = DetRng::seed_from_u64(config.seed);
+        // A zero-intensity config is indistinguishable from no faults;
+        // normalising here keeps the fault-free path byte-identical.
+        let faults = config.faults.filter(|fc| !fc.is_off());
         let swap: Option<Box<dyn OffloadBackend>> = match &config.swap {
             SwapKind::None => None,
             SwapKind::Ssd(model) => Some(Box::new(tmo_backends::catalog::fleet_device(*model))),
@@ -188,6 +203,17 @@ impl Machine {
                 )))
             }
         };
+        // The fault plan derives from the host seed alone, in a seed
+        // namespace disjoint from the workload RNG streams, so fault
+        // timing never perturbs (or is perturbed by) workload draws.
+        let swap = match (swap, faults) {
+            (Some(inner), Some(fc)) => Some(Box::new(FaultyBackend::new(
+                inner,
+                FaultPlan::new(config.seed, 0),
+                fc,
+            )) as Box<dyn OffloadBackend>),
+            (swap, _) => swap,
+        };
         let mm = MemoryManager::new(MmConfig {
             page_size: config.page_size,
             total_dram: config.dram,
@@ -199,6 +225,7 @@ impl Machine {
         let clock = Clock::new(config.tick);
         let rng = seed_rng.fork(2);
         let cpus = config.cpus;
+        let host_faults = faults.map(|fc| HostFaults::new(config.seed, 0, fc));
         Machine {
             config,
             mm,
@@ -213,6 +240,8 @@ impl Machine {
             swap_lat_p90: tmo_sim::P2Quantile::new(0.9),
             swap_lat_p99: tmo_sim::P2Quantile::new(0.99),
             swap_lat_mean: tmo_sim::Welford::new(),
+            host_faults,
+            signal_cache: Vec::new(),
         }
     }
 
@@ -462,6 +491,30 @@ impl Machine {
 
         self.mm.tick(dt);
         self.record_tick(now, &swap_latencies);
+        self.inject_host_faults(dt);
+    }
+
+    /// Applies this tick's host-level fault schedule: container crash
+    /// churn (kill + immediate restart) and injected host panics. The
+    /// panic is deliberate — the fleet runner's per-host isolation must
+    /// convert it into a recorded failure, not lose the fleet.
+    fn inject_host_faults(&mut self, dt: SimDuration) {
+        let Some(hf) = self.host_faults else { return };
+        let tick = self.clock.ticks();
+        if hf.panics_at(tick, dt) {
+            panic!("injected host panic at tick {tick}");
+        }
+        let n = self.containers.len() as u64;
+        if n == 0 {
+            return;
+        }
+        if let Some(victim) = hf.crash_victim(tick, dt, n) {
+            let id = ContainerId(victim as usize);
+            if self.containers[id.0].alive {
+                self.kill_container(id);
+                self.restart_container(id);
+            }
+        }
     }
 
     fn run_container_tick(
@@ -762,6 +815,53 @@ impl Machine {
             swap_full: c.swap_full_seen,
             protected: c.protected,
             relaxed: c.relaxed,
+            stale: false,
+        }
+    }
+
+    /// The deterministic fate of this tick's telemetry read for a
+    /// container — always `Fresh` when the run is fault-free.
+    pub fn signal_fate(&self, id: ContainerId) -> SignalFate {
+        match &self.host_faults {
+            Some(hf) => hf.signal_fate(self.clock.ticks(), id.0 as u64),
+            None => SignalFate::Fresh,
+        }
+    }
+
+    /// The Senpai view of one container, subject to telemetry faults: a
+    /// dropped read yields `None` (the controller must hold off), a
+    /// stale read replays the last fresh sample with `stale` set so the
+    /// controller knows not to act on it.
+    pub fn senpai_signal_guarded(&mut self, id: ContainerId) -> Option<ContainerSignal> {
+        if self.signal_cache.len() < self.containers.len() {
+            self.signal_cache.resize(self.containers.len(), None);
+        }
+        match self.signal_fate(id) {
+            SignalFate::Dropped => None,
+            SignalFate::Stale => {
+                let cached = self.signal_cache[id.0];
+                let mut sig = cached.unwrap_or_else(|| self.senpai_signal(id));
+                sig.stale = true;
+                Some(sig)
+            }
+            SignalFate::Fresh => {
+                let sig = self.senpai_signal(id);
+                self.signal_cache[id.0] = Some(sig);
+                Some(sig)
+            }
+        }
+    }
+
+    /// The oomd duress view of one container (§3.2.4): `full` memory
+    /// pressure plus the swap-exhaustion, telemetry-staleness, and
+    /// protection context a kill decision must respect.
+    pub fn oomd_signal(&self, id: ContainerId) -> OomdSignal {
+        let c = &self.containers[id.0];
+        OomdSignal {
+            full_avg10: c.psi.full_avg10(Resource::Memory),
+            swap_full: c.swap_full_seen,
+            stale: self.signal_fate(id) != SignalFate::Fresh,
+            protected: c.protected,
         }
     }
 
@@ -850,6 +950,55 @@ impl Machine {
         let name = c.name.clone();
         let now = self.clock.now();
         self.recorder.record(&format!("{name}.killed"), now, 1.0);
+    }
+
+    /// Restarts a killed container (crash churn): reallocates its full
+    /// class footprint and resumes its workload. Returns `true` on
+    /// success; if the host cannot hold the footprint the container
+    /// stays dead and the partial allocation is rolled back.
+    pub fn restart_container(&mut self, id: ContainerId) -> bool {
+        if self.containers[id.0].alive {
+            return true;
+        }
+        let cg = self.containers[id.0].cg;
+        let anon_fraction = self.containers[id.0].profile.anon_fraction;
+        let per_class: Vec<u64> = self.containers[id.0].planner.pages_per_class().to_vec();
+        let now = self.clock.now();
+        let mut class_pages: Vec<Vec<tmo_mm::PageId>> = Vec::new();
+        for &n in &per_class {
+            let want_anon = (n as f64 * anon_fraction).round() as u64;
+            let file_now = n - want_anon;
+            let mut pages = Vec::with_capacity(n as usize);
+            let mut failed = false;
+            if want_anon > 0 {
+                match self.mm.alloc_pages(cg, PageKind::Anon, want_anon, now) {
+                    Ok(out) => pages.extend(out.pages),
+                    Err(_) => failed = true,
+                }
+            }
+            if !failed && file_now > 0 {
+                match self.mm.alloc_pages(cg, PageKind::File, file_now, now) {
+                    Ok(out) => pages.extend(out.pages),
+                    Err(_) => failed = true,
+                }
+            }
+            if failed {
+                let mut allocated: Vec<tmo_mm::PageId> =
+                    class_pages.iter().flatten().copied().collect();
+                allocated.extend(pages);
+                self.mm.free_pages_of(&allocated);
+                return false;
+            }
+            class_pages.push(pages);
+        }
+        let c = &mut self.containers[id.0];
+        c.class_pages = class_pages;
+        c.alive = true;
+        c.swap_full_seen = false;
+        c.growth_remaining_pages = 0;
+        let name = c.name.clone();
+        self.recorder.record(&format!("{name}.restarted"), now, 1.0);
+        true
     }
 
     /// Whether the container is still running.
@@ -1209,5 +1358,136 @@ mod tests {
             },
             ..MachineConfig::default()
         });
+    }
+
+    fn faulted_machine(faults: FaultConfig) -> Machine {
+        Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            swap: SwapKind::Zswap {
+                capacity_fraction: 0.3,
+                allocator: ZswapAllocator::Zsmalloc,
+            },
+            faults: Some(faults),
+            ..MachineConfig::default()
+        })
+    }
+
+    #[test]
+    fn zero_intensity_faults_are_byte_identical_to_none() {
+        let mut clean = machine();
+        let mut off = Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            faults: Some(FaultConfig::off()),
+            ..MachineConfig::default()
+        });
+        let a = clean.add_container(&small_profile());
+        let b = off.add_container(&small_profile());
+        clean.run(SimDuration::from_secs(30));
+        off.run(SimDuration::from_secs(30));
+        assert_eq!(
+            format!("{:?}", clean.mm().global_stat()),
+            format!("{:?}", off.mm().global_stat())
+        );
+        assert_eq!(clean.savings_fraction(a), off.savings_fraction(b));
+    }
+
+    #[test]
+    fn crash_churn_kills_and_restarts_containers() {
+        // Crash roughly every tick so churn is guaranteed quickly.
+        let mut m = faulted_machine(FaultConfig {
+            intensity: 1.0,
+            crash_per_min: 600.0,
+            ..FaultConfig::off()
+        });
+        let id = m.add_container(&small_profile());
+        m.run(SimDuration::from_secs(10));
+        let name = m.container(id).name().to_string();
+        let killed = m.recorder().series(&format!("{name}.killed"));
+        let restarted = m.recorder().series(&format!("{name}.restarted"));
+        assert!(killed.is_some_and(|s| !s.is_empty()), "no kills recorded");
+        assert!(restarted.is_some_and(|s| !s.is_empty()), "no restarts");
+        assert!(m.is_alive(id), "restart should leave the container live");
+        assert!(m.container(id).last_tick().accesses > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected host panic")]
+    fn panic_faults_panic_the_host() {
+        let mut m = faulted_machine(FaultConfig {
+            intensity: 1.0,
+            panic_per_min: 6000.0,
+            ..FaultConfig::off()
+        });
+        m.add_container(&small_profile());
+        m.run(SimDuration::from_secs(10));
+    }
+
+    #[test]
+    fn guarded_signal_reads_follow_the_fault_schedule() {
+        let faults = FaultConfig {
+            intensity: 1.0,
+            stale_signal_rate: 0.3,
+            dropped_signal_rate: 0.2,
+            ..FaultConfig::off()
+        };
+        let mut m = faulted_machine(faults);
+        let id = m.add_container(&small_profile());
+        let mut fresh = 0;
+        let mut stale = 0;
+        let mut dropped = 0;
+        for _ in 0..200 {
+            m.tick();
+            match m.senpai_signal_guarded(id) {
+                None => dropped += 1,
+                Some(sig) if sig.stale => stale += 1,
+                Some(_) => fresh += 1,
+            }
+        }
+        assert!(fresh > 0, "no fresh reads");
+        assert!(stale > 0, "no stale reads");
+        assert!(dropped > 0, "no dropped reads");
+        // The guarded read agrees with the raw fate draw each tick, and
+        // the oomd view flags every non-fresh read as stale.
+        for _ in 0..50 {
+            m.tick();
+            let fate = m.signal_fate(id);
+            let guarded = m.senpai_signal_guarded(id);
+            let oomd = m.oomd_signal(id);
+            match fate {
+                SignalFate::Fresh => {
+                    assert!(guarded.is_some_and(|s| !s.stale));
+                    assert!(!oomd.stale);
+                }
+                SignalFate::Stale => {
+                    assert!(guarded.is_some_and(|s| s.stale));
+                    assert!(oomd.stale);
+                }
+                SignalFate::Dropped => {
+                    assert!(guarded.is_none());
+                    assert!(oomd.stale);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn restart_after_manual_kill_reallocates_the_footprint() {
+        let mut m = machine();
+        let id = m.add_container(&small_profile());
+        m.run(SimDuration::from_secs(2));
+        m.kill_container(id);
+        assert_eq!(
+            m.mm()
+                .cgroup_stat(m.container(id).cgroup())
+                .resident()
+                .as_u64(),
+            0
+        );
+        assert!(m.restart_container(id));
+        assert!(m.is_alive(id));
+        let stat = m.mm().cgroup_stat(m.container(id).cgroup());
+        assert_eq!(stat.resident().as_u64(), 4096);
+        m.run(SimDuration::from_secs(2));
+        assert!(m.container(id).last_tick().accesses > 0);
     }
 }

@@ -13,7 +13,11 @@
 //! * results are reduced in host-index order, so scheduling order
 //!   cannot leak into the output;
 //! * a panicking host surfaces as a [`FleetError`] naming the host
-//!   instead of hanging or poisoning the pool.
+//!   instead of hanging or poisoning the pool — and the
+//!   [`FleetRunner::run_collect`] family converts each panic into a
+//!   per-host [`HostOutcome::Failed`] record while every surviving
+//!   host's result is still reduced in index order (chaos experiments
+//!   lose one host, not the fleet).
 //!
 //! Wall-clock accounting per shard is reported through [`FleetStats`]
 //! so callers (the `repro --jobs N` CLI) can show where time went.
@@ -52,6 +56,46 @@ impl fmt::Display for FleetError {
 }
 
 impl std::error::Error for FleetError {}
+
+/// Outcome of one host in a [`FleetRunner::run_collect`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HostOutcome<T> {
+    /// The host ran to completion.
+    Completed(T),
+    /// The host panicked; the fleet carried on without it.
+    Failed(FleetError),
+}
+
+impl<T> HostOutcome<T> {
+    /// The completed result, if any.
+    pub fn completed(&self) -> Option<&T> {
+        match self {
+            HostOutcome::Completed(value) => Some(value),
+            HostOutcome::Failed(_) => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the completed result, if any.
+    pub fn into_completed(self) -> Option<T> {
+        match self {
+            HostOutcome::Completed(value) => Some(value),
+            HostOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure record, if the host panicked.
+    pub fn failure(&self) -> Option<&FleetError> {
+        match self {
+            HostOutcome::Completed(_) => None,
+            HostOutcome::Failed(e) => Some(e),
+        }
+    }
+
+    /// Whether the host panicked.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, HostOutcome::Failed(_))
+    }
+}
 
 /// Where the wall-clock went during one fleet run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -234,6 +278,41 @@ impl FleetRunner {
         self.execute(hosts, move |ctx| f(ctx.index), |index| index as u64)
     }
 
+    /// Runs `hosts` index-only shards and returns **all** per-host
+    /// outcomes in host-index order: surviving hosts as
+    /// [`HostOutcome::Completed`], panicked hosts as
+    /// [`HostOutcome::Failed`]. One bad host no longer discards the
+    /// rest of the fleet's work.
+    pub fn run_collect<T, F>(&self, hosts: usize, f: F) -> (Vec<HostOutcome<T>>, FleetStats)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.execute_collect(hosts, move |ctx| f(ctx.index), |index| index as u64)
+    }
+
+    /// Like [`FleetRunner::run_collect`] with seeds derived from
+    /// `experiment_seed` — the chaos-experiment entry point: injected
+    /// host panics become per-host failure records while every
+    /// surviving host's result is still reduced in index order.
+    pub fn run_collect_seeded<T, F>(
+        &self,
+        experiment_seed: u64,
+        hosts: usize,
+        f: F,
+    ) -> (Vec<HostOutcome<T>>, FleetStats)
+    where
+        T: Send,
+        F: Fn(HostCtx) -> T + Sync,
+    {
+        self.execute_collect(hosts, f, move |index| {
+            FleetRunner::host_seed(experiment_seed, index)
+        })
+    }
+
+    /// The fail-fast API, built on the collect engine: completed
+    /// results are returned only when every host survived; otherwise
+    /// the lowest-index failure is the error.
     fn execute<T, F, S>(
         &self,
         hosts: usize,
@@ -245,27 +324,61 @@ impl FleetRunner {
         F: Fn(HostCtx) -> T + Sync,
         S: Fn(usize) -> u64 + Sync,
     {
+        let (outcomes, stats) = self.execute_collect(hosts, f, seed_of);
+        let mut results = Vec::with_capacity(hosts);
+        let mut first_error: Option<FleetError> = None;
+        // Outcomes are in index order, so the first failure seen is the
+        // lowest-index one.
+        for outcome in outcomes {
+            match outcome {
+                HostOutcome::Completed(value) => results.push(value),
+                HostOutcome::Failed(e) => {
+                    first_error.get_or_insert(e);
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok((results, stats)),
+        }
+    }
+
+    /// The single fleet engine: every host index runs exactly once and
+    /// produces exactly one outcome, merged in host-index order.
+    fn execute_collect<T, F, S>(
+        &self,
+        hosts: usize,
+        f: F,
+        seed_of: S,
+    ) -> (Vec<HostOutcome<T>>, FleetStats)
+    where
+        T: Send,
+        F: Fn(HostCtx) -> T + Sync,
+        S: Fn(usize) -> u64 + Sync,
+    {
         let start = Instant::now();
         let jobs = self.jobs.min(hosts).max(1);
-        let run_host = |index: usize| -> Result<T, FleetError> {
+        let run_host = |index: usize| -> HostOutcome<T> {
             let ctx = HostCtx {
                 index,
                 seed: seed_of(index),
             };
-            catch_unwind(AssertUnwindSafe(|| f(ctx))).map_err(|payload| FleetError {
-                host: index,
-                message: panic_message(payload.as_ref()),
-            })
+            match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+                Ok(value) => HostOutcome::Completed(value),
+                Err(payload) => HostOutcome::Failed(FleetError {
+                    host: index,
+                    message: panic_message(payload.as_ref()),
+                }),
+            }
         };
 
         if jobs == 1 {
-            let mut results = Vec::with_capacity(hosts);
+            let mut outcomes = Vec::with_capacity(hosts);
             let mut busy = Duration::ZERO;
             for index in 0..hosts {
                 let host_start = Instant::now();
-                let result = run_host(index);
+                outcomes.push(run_host(index));
                 busy += host_start.elapsed();
-                results.push(result?);
             }
             let stats = FleetStats {
                 hosts,
@@ -274,13 +387,15 @@ impl FleetRunner {
                 shard_busy: vec![busy],
                 wall: start.elapsed(),
             };
-            return Ok((results, stats));
+            return (outcomes, stats);
         }
 
         // Work-stealing by atomic counter: each worker pulls the next
         // unclaimed host index. The *claim* order is scheduling-
         // dependent, but seeds depend only on the index and the merge
-        // below restores index order, so results are not.
+        // below restores index order, so results are not. Failures do
+        // not stop a worker: in chaos runs a panicking host is routine,
+        // and the rest of the fleet must still be simulated.
         let next = AtomicUsize::new(0);
         let shards: Vec<ShardOutcome<T>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..jobs)
@@ -296,15 +411,9 @@ impl FleetRunner {
                                 break;
                             }
                             let host_start = Instant::now();
-                            let result = run_host(index);
+                            let outcome = run_host(index);
                             busy += host_start.elapsed();
-                            let failed = result.is_err();
-                            completed.push((index, result));
-                            if failed {
-                                // Stop claiming work; other shards keep
-                                // draining so the scope joins promptly.
-                                break;
-                            }
+                            completed.push((index, outcome));
                         }
                         ShardOutcome { completed, busy }
                     })
@@ -323,36 +432,25 @@ impl FleetRunner {
             shard_busy: Vec::with_capacity(jobs),
             wall: Duration::ZERO,
         };
-        let mut slots: Vec<Option<T>> = (0..hosts).map(|_| None).collect();
-        let mut first_error: Option<FleetError> = None;
+        let mut slots: Vec<Option<HostOutcome<T>>> = (0..hosts).map(|_| None).collect();
         for shard in shards {
             stats.shard_hosts.push(shard.completed.len());
             stats.shard_busy.push(shard.busy);
-            for (index, result) in shard.completed {
-                match result {
-                    Ok(value) => slots[index] = Some(value),
-                    Err(e) => {
-                        if first_error.as_ref().is_none_or(|f| e.host < f.host) {
-                            first_error = Some(e);
-                        }
-                    }
-                }
+            for (index, outcome) in shard.completed {
+                slots[index] = Some(outcome);
             }
         }
-        if let Some(e) = first_error {
-            return Err(e);
-        }
-        let results = slots
+        let outcomes = slots
             .into_iter()
             .map(|slot| slot.expect("every host index was claimed exactly once"))
             .collect();
         stats.wall = start.elapsed();
-        Ok((results, stats))
+        (outcomes, stats)
     }
 }
 
 struct ShardOutcome<T> {
-    completed: Vec<(usize, Result<T, FleetError>)>,
+    completed: Vec<(usize, HostOutcome<T>)>,
     busy: Duration,
 }
 
@@ -454,6 +552,42 @@ mod tests {
         let message = caught.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(message.contains("host 1"), "message: {message}");
         assert!(message.contains("kaput"), "message: {message}");
+    }
+
+    #[test]
+    fn run_collect_keeps_survivors_alongside_failures() {
+        let (outcomes, stats) = FleetRunner::new(4).run_collect(64, |index| {
+            if index % 10 == 3 {
+                panic!("injected panic on host {index}");
+            }
+            index * 2
+        });
+        assert_eq!(outcomes.len(), 64);
+        assert_eq!(stats.shard_hosts.iter().sum::<usize>(), 64);
+        for (index, outcome) in outcomes.iter().enumerate() {
+            if index % 10 == 3 {
+                let e = outcome.failure().expect("failed host");
+                assert_eq!(e.host, index);
+                assert!(e.message.contains("injected panic"));
+            } else {
+                assert_eq!(outcome.completed(), Some(&(index * 2)));
+            }
+        }
+        let survivors = outcomes.iter().filter(|o| !o.is_failed()).count();
+        assert_eq!(survivors, 57);
+    }
+
+    #[test]
+    fn run_collect_is_identical_for_any_worker_count() {
+        let f = |h: HostCtx| {
+            if h.index % 7 == 5 {
+                panic!("chaos host {}", h.index);
+            }
+            h.seed
+        };
+        let (seq, _) = FleetRunner::sequential().run_collect_seeded(1300, 50, f);
+        let (par, _) = FleetRunner::new(4).run_collect_seeded(1300, 50, f);
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The TMO control loop: a machine plus a controller.
 
 use tmo_gswap::{GswapConfig, GswapController};
-use tmo_psi::Resource;
-use tmo_senpai::{OomdConfig, OomdMonitor, PolicyMap, Senpai, SenpaiConfig};
 use tmo_sim::{ByteSize, SimDuration};
+
+use tmo_senpai::{OomdConfig, OomdMonitor, PolicyMap, ReclaimDecision, Senpai, SenpaiConfig};
 
 use crate::container::ContainerId;
 use crate::machine::Machine;
@@ -129,14 +129,24 @@ impl TmoRuntime {
                 if !self.machine.is_alive(id) {
                     continue;
                 }
-                let full = self
-                    .machine
-                    .container(id)
-                    .psi()
-                    .full_avg10(Resource::Memory);
-                if oomd.observe(id.as_usize(), full, dt).is_some() {
+                let signal = self.machine.oomd_signal(id);
+                if oomd.observe_signal(id.as_usize(), signal, dt).is_some() {
                     self.machine.kill_container(id);
                 }
+            }
+        }
+        // One guarded reclaim step: read the (possibly faulted) signal,
+        // decide with the per-container backoff applied, act, and report
+        // the outcome back so the backoff adapts. A dropped signal read
+        // is a conservative hold-off — no reclaim on missing data.
+        fn reclaim_guarded(machine: &mut Machine, senpai: &mut Senpai, id: ContainerId) {
+            let Some(signal) = machine.senpai_signal_guarded(id) else {
+                return;
+            };
+            let decision: ReclaimDecision = senpai.decide_for(id.as_usize(), &signal);
+            if decision.reclaim > ByteSize::ZERO {
+                let outcome = machine.reclaim(id, decision.reclaim);
+                senpai.note_outcome(id.as_usize(), !outcome.reclaimed().is_zero());
             }
         }
         match &mut self.controller {
@@ -147,11 +157,7 @@ impl TmoRuntime {
                         if !self.machine.is_alive(id) {
                             continue;
                         }
-                        let signal = self.machine.senpai_signal(id);
-                        let decision = senpai.decide(&signal);
-                        if decision.reclaim > ByteSize::ZERO {
-                            self.machine.reclaim(id, decision.reclaim);
-                        }
+                        reclaim_guarded(&mut self.machine, senpai, id);
                     }
                 }
             }
@@ -174,11 +180,7 @@ impl TmoRuntime {
                     }
                     let senpai = &mut controllers[id.as_usize()];
                     if senpai.due(now) {
-                        let signal = self.machine.senpai_signal(id);
-                        let decision = senpai.decide(&signal);
-                        if decision.reclaim > ByteSize::ZERO {
-                            self.machine.reclaim(id, decision.reclaim);
-                        }
+                        reclaim_guarded(&mut self.machine, senpai, id);
                     }
                 }
             }
@@ -326,6 +328,31 @@ mod tests {
             "batch {saved_batch} should out-save default {saved_default}"
         );
         assert!(saved_default > 0.02, "default policy idle: {saved_default}");
+    }
+
+    #[test]
+    fn senpai_survives_telemetry_faults_and_still_offloads() {
+        let mut m = Machine::new(MachineConfig {
+            dram: ByteSize::from_mib(256),
+            swap: SwapKind::Zswap {
+                capacity_fraction: 0.3,
+                allocator: ZswapAllocator::Zsmalloc,
+            },
+            faults: Some(tmo_faults::FaultConfig {
+                intensity: 1.0,
+                stale_signal_rate: 0.2,
+                dropped_signal_rate: 0.1,
+                ..tmo_faults::FaultConfig::off()
+            }),
+            ..MachineConfig::default()
+        });
+        m.add_container(&apps::feed().with_mem_total(ByteSize::from_mib(128)));
+        let mut rt = TmoRuntime::with_senpai(m, SenpaiConfig::accelerated(20.0));
+        rt.run(SimDuration::from_mins(5));
+        // A third of the telemetry reads are bad; the hold-off must slow
+        // Senpai down, not stop it.
+        let saved = rt.machine().savings_fraction(ContainerId(0));
+        assert!(saved > 0.03, "saved {saved}");
     }
 
     #[test]

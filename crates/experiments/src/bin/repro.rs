@@ -13,13 +13,14 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tmo_experiments::{
-    ablate, ext_sweep, ext_tiered, headline, run_figure_with, ExperimentOutput, FleetRunner, Scale,
-    ALL_FIGURES,
+    ablate, ext_chaos, ext_sweep, ext_tiered, headline, run_figure_with, run_named_with,
+    ExperimentOutput, FleetRunner, Scale, ALL_FIGURES, NAMED_EXPERIMENTS,
 };
 
 #[derive(Debug, Default)]
 struct Args {
     figures: Vec<u32>,
+    experiments: Vec<String>,
     all: bool,
     ablations: bool,
     extensions: bool,
@@ -39,6 +40,10 @@ fn parse_args() -> Result<Args, String> {
                 args.figures
                     .push(v.parse().map_err(|_| format!("bad figure number {v}"))?);
             }
+            "--experiment" | "-e" => {
+                let v = iter.next().ok_or("--experiment needs a name")?;
+                args.experiments.push(v);
+            }
             "--all" | "-a" => args.all = true,
             "--ablations" => args.ablations = true,
             "--extensions" => args.extensions = true,
@@ -54,22 +59,29 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "repro — regenerate the TMO paper's figures\n\n\
-                     USAGE: repro [--figure N]... [--all] [--ablations] [--extensions] [--quick] [--jobs N] [--csv DIR]\n\n\
+                     USAGE: repro [--figure N]... [--experiment NAME]... [--all] [--ablations] [--extensions] [--quick] [--jobs N] [--csv DIR]\n\n\
                      --jobs N shards multi-host figures over N worker threads (0 = all\n\
                      cores, the default); results are bit-identical for every N.\n\n\
-                     Figures: {}",
+                     Figures: {}\n\
+                     Experiments: {}",
                     ALL_FIGURES
                         .iter()
                         .map(u32::to_string)
                         .collect::<Vec<_>>()
-                        .join(", ")
+                        .join(", "),
+                    NAMED_EXPERIMENTS.join(", ")
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other}")),
         }
     }
-    if args.figures.is_empty() && !args.all && !args.ablations && !args.extensions {
+    if args.figures.is_empty()
+        && args.experiments.is_empty()
+        && !args.all
+        && !args.ablations
+        && !args.extensions
+    {
         args.all = true;
     }
     Ok(args)
@@ -128,6 +140,22 @@ fn main() -> ExitCode {
             }
         }
     }
+    for name in &args.experiments {
+        let Some(output) = run_named_with(&runner, name, scale) else {
+            eprintln!(
+                "unknown experiment {name}; known: {}",
+                NAMED_EXPERIMENTS.join(", ")
+            );
+            return ExitCode::FAILURE;
+        };
+        println!("{}", output.render());
+        if let Some(dir) = &args.csv {
+            if let Err(e) = export_csv(dir, &output) {
+                eprintln!("csv export failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     if args.all || args.ablations {
         let output = ablate::run_with(&runner, scale);
         println!("{}", output.render());
@@ -136,6 +164,8 @@ fn main() -> ExitCode {
         let output = ext_tiered::run_with(&runner, scale);
         println!("{}", output.render());
         let output = ext_sweep::run_with(&runner, scale);
+        println!("{}", output.render());
+        let output = ext_chaos::run_with(&runner, scale);
         println!("{}", output.render());
         let output = headline::run_with(&runner, scale);
         println!("{}", output.render());

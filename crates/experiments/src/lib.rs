@@ -31,9 +31,11 @@
 //! | [`ablate`] | §3.3/§3.4 | design-choice ablations |
 //! | [`ext_tiered`] | §5.2 | tiered backend hierarchy extension |
 //! | [`ext_sweep`] | §4.4 | Senpai tuning sweep (savings/RPS frontier) |
+//! | [`ext_chaos`] | §4.5/§5.2 | fault-injection degradation curves |
 //! | [`headline`] | abstract | fleet-wide 20-32% savings rollup |
 
 pub mod ablate;
+pub mod ext_chaos;
 pub mod ext_sweep;
 pub mod ext_tiered;
 pub mod fig01;
@@ -92,3 +94,21 @@ pub fn run_figure_with(
 
 /// All reproducible figure numbers in order.
 pub const ALL_FIGURES: [u32; 14] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14];
+
+/// The named (non-figure) experiments, in the order `--extensions` and
+/// `--all` run them.
+pub const NAMED_EXPERIMENTS: [&str; 5] =
+    ["ablate", "ext_tiered", "ext_sweep", "ext_chaos", "headline"];
+
+/// Runs one named experiment on the given runner. Returns `None` for
+/// names not in [`NAMED_EXPERIMENTS`].
+pub fn run_named_with(runner: &FleetRunner, name: &str, scale: Scale) -> Option<ExperimentOutput> {
+    Some(match name {
+        "ablate" => ablate::run_with(runner, scale),
+        "ext_tiered" => ext_tiered::run_with(runner, scale),
+        "ext_sweep" => ext_sweep::run_with(runner, scale),
+        "ext_chaos" => ext_chaos::run_with(runner, scale),
+        "headline" => headline::run_with(runner, scale),
+        _ => return None,
+    })
+}

@@ -1,0 +1,139 @@
+//! Host-level faults: telemetry, container churn, and host panics.
+
+use tmo_sim::SimDuration;
+
+use crate::config::FaultConfig;
+use crate::plan::{salt, FaultPlan};
+
+/// What happened to one pressure-signal read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalFate {
+    /// The sample arrived normally.
+    Fresh,
+    /// The sample is stale — the reader should see the *previous*
+    /// value again and treat it with suspicion.
+    Stale,
+    /// The read failed outright; no sample is available this interval.
+    Dropped,
+}
+
+/// Deterministic host-level fault schedule.
+///
+/// Covers the fault classes that live above the block layer:
+///
+/// * **Signal faults** — PSI / `memory.current` reads come back stale
+///   or dropped, exercising Senpai's conservative hold-off.
+/// * **Container churn** — a workload container is killed and
+///   restarted mid-run (the paper's fleet sees constant churn).
+/// * **Host panics** — the whole host simulation dies mid-run; the
+///   fleet runner must record a per-host failure instead of losing the
+///   fleet.
+///
+/// Like [`FaultPlan`], every query is pure in `(tick, inputs)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HostFaults {
+    plan: FaultPlan,
+    config: FaultConfig,
+}
+
+impl HostFaults {
+    /// Builds the schedule for one host of an experiment.
+    pub fn new(experiment_seed: u64, host_index: u64, config: FaultConfig) -> Self {
+        HostFaults {
+            plan: FaultPlan::new(experiment_seed, host_index),
+            config,
+        }
+    }
+
+    /// The fate of container `container`'s signal read at `tick`.
+    pub fn signal_fate(&self, tick: u64, container: u64) -> SignalFate {
+        // One draw decides both outcomes so their rates stay exact:
+        // [0, dropped) → Dropped, [dropped, dropped+stale) → Stale.
+        let u = self.plan.uniform(tick ^ (container << 48), salt::SIGNAL);
+        let dropped = self.config.per_op(self.config.dropped_signal_rate);
+        let stale = self.config.per_op(self.config.stale_signal_rate);
+        if u < dropped {
+            SignalFate::Dropped
+        } else if u < dropped + stale {
+            SignalFate::Stale
+        } else {
+            SignalFate::Fresh
+        }
+    }
+
+    /// If a container crash fires at `tick`, the index (in `[0, n)`) of
+    /// the victim container.
+    pub fn crash_victim(&self, tick: u64, dt: SimDuration, n: u64) -> Option<u64> {
+        let p = self.config.per_tick(self.config.crash_per_min, dt);
+        if self.plan.chance(tick, salt::CRASH, p) {
+            self.plan.pick(tick, salt::CRASH_VICTIM, n)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the host panics at `tick`.
+    pub fn panics_at(&self, tick: u64, dt: SimDuration) -> bool {
+        let p = self.config.per_tick(self.config.panic_per_min, dt);
+        self.plan.chance(tick, salt::PANIC, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DT: SimDuration = SimDuration::from_secs(6);
+
+    #[test]
+    fn off_config_never_faults() {
+        let host = HostFaults::new(1300, 0, FaultConfig::off());
+        for t in 0..5000 {
+            assert_eq!(host.signal_fate(t, 0), SignalFate::Fresh);
+            assert_eq!(host.crash_victim(t, DT, 4), None);
+            assert!(!host.panics_at(t, DT));
+        }
+    }
+
+    #[test]
+    fn chaos_produces_each_signal_fate_at_roughly_configured_rates() {
+        let host = HostFaults::new(1300, 1, FaultConfig::chaos(1.0));
+        let n = 20_000;
+        let mut stale = 0;
+        let mut dropped = 0;
+        for t in 0..n {
+            match host.signal_fate(t, 2) {
+                SignalFate::Stale => stale += 1,
+                SignalFate::Dropped => dropped += 1,
+                SignalFate::Fresh => {}
+            }
+        }
+        // Configured: 5% stale, 2% dropped. Allow wide slack.
+        assert!((600..1500).contains(&stale), "stale {stale}");
+        assert!((200..700).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn crash_victims_are_in_range_and_deterministic() {
+        let host = HostFaults::new(1300, 2, FaultConfig::chaos(1.0));
+        let victims: Vec<(u64, u64)> = (0..10_000)
+            .filter_map(|t| host.crash_victim(t, DT, 3).map(|v| (t, v)))
+            .collect();
+        assert!(!victims.is_empty());
+        assert!(victims.iter().all(|&(_, v)| v < 3));
+        let again: Vec<(u64, u64)> = (0..10_000)
+            .filter_map(|t| host.crash_victim(t, DT, 3).map(|v| (t, v)))
+            .collect();
+        assert_eq!(victims, again);
+    }
+
+    #[test]
+    fn panic_schedule_depends_on_host_index() {
+        let a = HostFaults::new(1300, 3, FaultConfig::chaos(1.0));
+        let b = HostFaults::new(1300, 4, FaultConfig::chaos(1.0));
+        let panics =
+            |h: &HostFaults| -> Vec<u64> { (0..50_000).filter(|&t| h.panics_at(t, DT)).collect() };
+        assert!(!panics(&a).is_empty());
+        assert_ne!(panics(&a), panics(&b));
+    }
+}

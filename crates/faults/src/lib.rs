@@ -1,0 +1,35 @@
+//! Deterministic fault injection for chaos experiments.
+//!
+//! Production TMO (§6 of the paper) survives a fleet where devices die,
+//! PSI telemetry stalls, and containers churn. This crate gives the
+//! reproduction the same adversity **without giving up bit-determinism**:
+//! every fault decision is a pure function of
+//! `(experiment_seed, host_index, tick, salt)` — the same derivation
+//! discipline as `tmo_sim::rng::derive_host_seed` — so a chaos run is
+//! exactly reproducible regardless of worker count or scheduling order.
+//!
+//! Three layers:
+//!
+//! * [`FaultPlan`] — the stateless hash core. `chance` / `uniform` /
+//!   `pick` answer "does fault X fire at tick T?" identically every
+//!   time they are asked.
+//! * [`FaultyBackend`] — wraps any [`tmo_backends::OffloadBackend`] and
+//!   injects latency spikes, transient I/O errors (resolved by bounded
+//!   retry with exponential backoff), and permanent device faults
+//!   (death, wear-out, pool exhaustion) on its tick schedule.
+//! * [`HostFaults`] — host-level faults: stale or dropped pressure
+//!   signals feeding Senpai, container crash/restart churn, and
+//!   mid-run host panics for the fleet runner to absorb.
+//!
+//! All intensities scale from a single [`FaultConfig`] dial so the
+//! `ext_chaos` experiment can sweep a degradation curve.
+
+mod backend;
+mod config;
+mod host;
+mod plan;
+
+pub use backend::FaultyBackend;
+pub use config::FaultConfig;
+pub use host::{HostFaults, SignalFate};
+pub use plan::FaultPlan;

@@ -79,6 +79,9 @@ pub struct Cgroup {
     pub(crate) swapin_rate: RateCounter,
     /// Swap-out rate (drives §4.5 write regulation reporting).
     pub(crate) swapout_rate: RateCounter,
+    /// Swap-ins whose page the backend had lost (device death); the
+    /// page was re-established zero-filled instead of panicking.
+    pub(crate) lost_loads: u64,
     /// Mean compression ratio of this container's anonymous memory.
     pub(crate) compress_ratio: f64,
     /// Reclaim priority for controllers.
@@ -103,6 +106,7 @@ impl Cgroup {
             refault_rate: RateCounter::new(RATE_WINDOW),
             swapin_rate: RateCounter::new(RATE_WINDOW),
             swapout_rate: RateCounter::new(RATE_WINDOW),
+            lost_loads: 0,
             compress_ratio: 3.0,
             priority: ReclaimPriority::Normal,
         }

@@ -6,7 +6,7 @@
 //! and controllers drive proactive reclaim through the stateless
 //! `memory.reclaim`-equivalent [`MemoryManager::reclaim`].
 
-use tmo_backends::{BackendKind, BackendStats, IoKind, OffloadBackend, SsdDevice};
+use tmo_backends::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBackend, SsdDevice};
 use tmo_sim::{ByteSize, DetRng, PageCount, SimDuration, SimTime};
 
 use crate::cgroup::{Cgroup, CgroupId, ReclaimPriority};
@@ -105,6 +105,7 @@ pub struct MemoryManager {
     resident_global: u64,
     direct_reclaims: u64,
     alloc_failures: u64,
+    lost_loads: u64,
 }
 
 impl MemoryManager {
@@ -130,6 +131,7 @@ impl MemoryManager {
             resident_global: 0,
             direct_reclaims: 0,
             alloc_failures: 0,
+            lost_loads: 0,
         }
     }
 
@@ -230,6 +232,7 @@ impl MemoryManager {
             refault_rate: c.refault_rate.rate(),
             swapin_rate: c.swapin_rate.rate(),
             swapout_rate: c.swapout_rate.rate(),
+            lost_loads: c.lost_loads,
         }
     }
 
@@ -268,12 +271,21 @@ impl MemoryManager {
             free_bytes: ByteSize::new(self.free_pages() * self.page_size.as_u64()),
             direct_reclaims: self.direct_reclaims,
             alloc_failures: self.alloc_failures,
+            lost_loads: self.lost_loads,
         }
     }
 
     /// Statistics of the swap backend, if any.
     pub fn swap_stats(&self) -> Option<BackendStats> {
         self.swap.as_ref().map(|b| b.stats())
+    }
+
+    /// Injects a device fault into the swap backend, if any (fault
+    /// experiments and tests).
+    pub fn inject_swap_fault(&mut self, fault: DeviceFault) {
+        if let Some(swap) = self.swap.as_mut() {
+            swap.inject(fault);
+        }
     }
 
     /// Kind of the swap backend, if any.
@@ -546,10 +558,18 @@ impl MemoryManager {
             .swap
             .as_mut()
             .expect("page offloaded but no swap backend");
-        let latency = swap
-            .load(token, &mut self.rng)
-            .expect("offloaded page missing from backend");
-        let block_io = swap.kind() != BackendKind::Zswap;
+        // A backend that lost the page (device death) returns `None`;
+        // degrade by re-establishing the page zero-filled — the moral
+        // equivalent of a fresh anonymous page after data loss — rather
+        // than panicking the host. The loss is visible as `lost_loads`.
+        let (latency, block_io, lost) = match swap.load(token, &mut self.rng) {
+            Some(latency) => (latency, swap.kind() != BackendKind::Zswap, false),
+            None => (SimDuration::ZERO, false, true),
+        };
+        if lost {
+            self.cgroups[owner.0].lost_loads += 1;
+            self.lost_loads += 1;
+        }
         self.cgroups[owner.0].anon_offloaded -= PageCount::new(1);
         let reclaim_stall = self.ensure_free(1).unwrap_or(SimDuration::ZERO);
         let page = &mut self.pages[id.0 as usize];
@@ -1065,6 +1085,45 @@ mod tests {
             } => assert!(latency < SimDuration::from_micros(500)),
             other => panic!("expected zswap fault, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn dead_backend_load_degrades_to_zero_fill_and_counts_lost_loads() {
+        let mut mm = MemoryManager::new(small_config(ssd_swap()));
+        let cg = mm.create_cgroup("a", None);
+        let alloc = mm
+            .alloc_pages(cg, PageKind::Anon, 20, SimTime::ZERO)
+            .expect("fits");
+        mm.reclaim(cg, ByteSize::from_kib(4 * 10));
+        let swapped: Vec<PageId> = alloc
+            .pages
+            .iter()
+            .copied()
+            .filter(|&p| !mm.page(p).is_resident())
+            .collect();
+        assert!(!swapped.is_empty());
+        mm.inject_swap_fault(DeviceFault::Die);
+        // Every offloaded page is gone, but accessing them must not
+        // panic: pages come back zero-filled with zero device latency.
+        for &p in &swapped {
+            match mm.access(p, SimTime::from_secs(1)) {
+                AccessOutcome::Fault {
+                    kind: FaultKind::SwapIn,
+                    latency,
+                    block_io,
+                    ..
+                } => {
+                    assert_eq!(latency, SimDuration::ZERO);
+                    assert!(!block_io);
+                }
+                other => panic!("expected degraded swap-in, got {other:?}"),
+            }
+            assert!(mm.page(p).is_resident());
+        }
+        let lost = swapped.len() as u64;
+        assert_eq!(mm.cgroup_stat(cg).lost_loads, lost);
+        assert_eq!(mm.global_stat().lost_loads, lost);
+        assert_eq!(mm.cgroup_stat(cg).anon_offloaded, PageCount::ZERO);
     }
 
     #[test]

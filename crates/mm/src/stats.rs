@@ -143,6 +143,10 @@ pub struct CgroupStat {
     pub swapin_rate: f64,
     /// Smoothed swap-out rate (events/s).
     pub swapout_rate: f64,
+    /// Cumulative swap-ins whose page the backend had lost (device
+    /// death); each was re-established zero-filled instead of
+    /// panicking.
+    pub lost_loads: u64,
 }
 
 impl CgroupStat {
@@ -172,6 +176,9 @@ pub struct GlobalStat {
     pub direct_reclaims: u64,
     /// Cumulative allocation failures (after reclaim could not free).
     pub alloc_failures: u64,
+    /// Machine-wide total of swap-ins the backend could not serve
+    /// (lost pages re-established zero-filled).
+    pub lost_loads: u64,
 }
 
 #[cfg(test)]

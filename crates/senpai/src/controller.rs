@@ -1,5 +1,7 @@
 //! The Senpai control law.
 
+use std::collections::HashMap;
+
 use tmo_sim::{ByteSize, SimTime};
 
 use crate::config::SenpaiConfig;
@@ -23,6 +25,10 @@ pub struct ContainerSignal {
     pub protected: bool,
     /// Relaxed-SLA container (memory tax): tolerate higher pressure.
     pub relaxed: bool,
+    /// The pressure sample is stale (telemetry stall); reclaiming on a
+    /// stale reading risks shrinking a container whose pressure already
+    /// spiked, so Senpai holds off conservatively.
+    pub stale: bool,
 }
 
 impl Default for ContainerSignal {
@@ -35,6 +41,7 @@ impl Default for ContainerSignal {
             swap_full: false,
             protected: false,
             relaxed: false,
+            stale: false,
         }
     }
 }
@@ -52,6 +59,12 @@ pub enum Limiter {
     MaxStep,
     /// The container is protected.
     Protected,
+    /// The pressure sample was stale or missing — conservative
+    /// hold-off until fresh telemetry returns.
+    StaleSignal,
+    /// Recent reclaim attempts failed; exponential backoff reduced or
+    /// zeroed the step.
+    Backoff,
 }
 
 /// One reclaim decision.
@@ -72,19 +85,30 @@ impl ReclaimDecision {
     }
 }
 
+/// Exponent cap for reclaim-failure backoff (factor `2^-10` ≈ 0.1%).
+const MAX_BACKOFF_EXP: u32 = 10;
+
 /// The Senpai controller. Stateless between periods except for its
-/// schedule; see the [crate docs](crate) for the control law.
+/// schedule and per-container reclaim-failure backoff; see the
+/// [crate docs](crate) for the control law.
 #[derive(Debug, Clone)]
 pub struct Senpai {
     config: SenpaiConfig,
     next_run: SimTime,
+    /// Consecutive failed reclaims per container, for exponential
+    /// backoff. Cleared by the first successful reclaim.
+    failures: HashMap<usize, u32>,
 }
 
 impl Senpai {
     /// Creates a controller that first runs one interval after start.
     pub fn new(config: SenpaiConfig) -> Self {
         let next_run = SimTime::ZERO + config.interval;
-        Senpai { config, next_run }
+        Senpai {
+            config,
+            next_run,
+            failures: HashMap::new(),
+        }
     }
 
     /// The configuration.
@@ -112,6 +136,12 @@ impl Senpai {
     pub fn decide(&self, signal: &ContainerSignal) -> ReclaimDecision {
         if signal.protected {
             return ReclaimDecision::zero(Limiter::Protected);
+        }
+        // A stale pressure reading could hide a spike that started
+        // after the last fresh sample; shrinking on it risks real harm,
+        // so hold off until telemetry recovers (chaos hardening).
+        if signal.stale {
+            return ReclaimDecision::zero(Limiter::StaleSignal);
         }
         let slack = if signal.relaxed {
             self.config.relaxed_multiplier
@@ -176,6 +206,36 @@ impl Senpai {
     /// Convenience: decides for many containers at once.
     pub fn decide_all(&self, signals: &[ContainerSignal]) -> Vec<ReclaimDecision> {
         signals.iter().map(|s| self.decide(s)).collect()
+    }
+
+    /// Applies the control law for a specific container, including its
+    /// reclaim-failure backoff: after `n` consecutive failed reclaims
+    /// the step is scaled by `2^-n` until one succeeds.
+    pub fn decide_for(&self, container: usize, signal: &ContainerSignal) -> ReclaimDecision {
+        let mut decision = self.decide(signal);
+        let failures = self.failures.get(&container).copied().unwrap_or(0);
+        if failures > 0 && !decision.reclaim.is_zero() {
+            let factor = 0.5f64.powi(failures.min(MAX_BACKOFF_EXP) as i32);
+            decision.reclaim = decision.reclaim.mul_f64(factor);
+            decision.limited_by = Some(Limiter::Backoff);
+        }
+        decision
+    }
+
+    /// Records whether the last reclaim attempt for `container` freed
+    /// anything; failures grow the backoff, the first success clears it.
+    pub fn note_outcome(&mut self, container: usize, ok: bool) {
+        if ok {
+            self.failures.remove(&container);
+        } else {
+            let n = self.failures.entry(container).or_insert(0);
+            *n = (*n + 1).min(MAX_BACKOFF_EXP);
+        }
+    }
+
+    /// Consecutive failed reclaims currently held against `container`.
+    pub fn failure_count(&self, container: usize) -> u32 {
+        self.failures.get(&container).copied().unwrap_or(0)
     }
 }
 
@@ -321,6 +381,49 @@ mod tests {
         let d = s.decide(&calm());
         assert_eq!(d.reclaim, gib().mul_f64(0.01));
         assert_eq!(d.limited_by, Some(Limiter::MaxStep));
+    }
+
+    #[test]
+    fn stale_signal_holds_off_reclaim() {
+        let d = senpai().decide(&ContainerSignal {
+            stale: true,
+            ..calm()
+        });
+        assert_eq!(d.reclaim, ByteSize::ZERO);
+        assert_eq!(d.limited_by, Some(Limiter::StaleSignal));
+    }
+
+    #[test]
+    fn failed_reclaims_back_off_exponentially_until_success() {
+        let mut s = senpai();
+        let base = s.decide_for(0, &calm()).reclaim;
+        assert!(base > ByteSize::ZERO);
+        s.note_outcome(0, false);
+        let once = s.decide_for(0, &calm());
+        assert_eq!(once.limited_by, Some(Limiter::Backoff));
+        assert_eq!(once.reclaim, base.mul_f64(0.5));
+        s.note_outcome(0, false);
+        assert_eq!(s.decide_for(0, &calm()).reclaim, base.mul_f64(0.25));
+        // Another container is unaffected.
+        assert_eq!(s.decide_for(1, &calm()).reclaim, base);
+        // One success clears the backoff entirely.
+        s.note_outcome(0, true);
+        assert_eq!(s.decide_for(0, &calm()).reclaim, base);
+        assert_eq!(s.failure_count(0), 0);
+    }
+
+    #[test]
+    fn backoff_exponent_is_capped() {
+        let mut s = senpai();
+        for _ in 0..50 {
+            s.note_outcome(0, false);
+        }
+        assert_eq!(s.failure_count(0), 10);
+        let d = s.decide_for(0, &calm());
+        assert!(d.reclaim > ByteSize::ZERO || d.reclaim.is_zero());
+        // 2^-10 of the base step, not zero forever.
+        let base = s.decide_for(1, &calm()).reclaim;
+        assert_eq!(d.reclaim, base.mul_f64(0.5f64.powi(10)));
     }
 
     #[test]

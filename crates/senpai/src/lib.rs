@@ -50,5 +50,5 @@ pub mod policy;
 
 pub use config::SenpaiConfig;
 pub use controller::{ContainerSignal, Limiter, ReclaimDecision, Senpai};
-pub use oomd::{KillDecision, OomdConfig, OomdMonitor};
+pub use oomd::{KillDecision, OomdConfig, OomdMonitor, OomdSignal};
 pub use policy::PolicyMap;

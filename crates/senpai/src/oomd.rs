@@ -33,6 +33,23 @@ impl Default for OomdConfig {
     }
 }
 
+/// One container's observation for a tick — the full duress picture,
+/// not just the pressure number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OomdSignal {
+    /// `full` avg10 from `memory.pressure` (ratio in `[0, 1]`).
+    pub full_avg10: f64,
+    /// The swap backend is full (or dead): thrashing can no longer be
+    /// relieved by offloading, so duress escalates faster.
+    pub swap_full: bool,
+    /// The pressure sample is stale. A kill is irreversible; it must
+    /// never fire on data that may describe a recovered container, so
+    /// the sustain timer holds (neither grows nor resets).
+    pub stale: bool,
+    /// Strict-SLA container: never a kill candidate.
+    pub protected: bool,
+}
+
 /// A kill decision for one container.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KillDecision {
@@ -94,7 +111,45 @@ impl OomdMonitor {
         full_avg10: f64,
         dt: SimDuration,
     ) -> Option<KillDecision> {
-        if full_avg10 < self.config.full_threshold {
+        self.observe_signal(
+            container,
+            OomdSignal {
+                full_avg10,
+                ..OomdSignal::default()
+            },
+            dt,
+        )
+    }
+
+    /// Feeds one container's full duress signal for a tick of length
+    /// `dt`. Semantics beyond [`observe`](Self::observe):
+    ///
+    /// * `protected` containers are never selected — their timer stays
+    ///   zero so protection can be lifted without a stale head start;
+    /// * `stale` samples freeze the timer: a kill must not fire on (or
+    ///   be forgiven by) data that may be out of date;
+    /// * `swap_full` halves the effective threshold — with the swap
+    ///   backend unusable there is no relief valve, and waiting the
+    ///   full window just prolongs the functional outage (§3.2.4).
+    pub fn observe_signal(
+        &mut self,
+        container: usize,
+        signal: OomdSignal,
+        dt: SimDuration,
+    ) -> Option<KillDecision> {
+        if signal.protected {
+            self.sustained.insert(container, SimDuration::ZERO);
+            return None;
+        }
+        if signal.stale {
+            return None;
+        }
+        let threshold = if signal.swap_full {
+            self.config.full_threshold / 2.0
+        } else {
+            self.config.full_threshold
+        };
+        if signal.full_avg10 < threshold {
             self.sustained.insert(container, SimDuration::ZERO);
             return None;
         }
@@ -103,7 +158,7 @@ impl OomdMonitor {
         if *acc >= self.config.sustain {
             let decision = KillDecision {
                 container,
-                full_avg10,
+                full_avg10: signal.full_avg10,
                 sustained_for: *acc,
             };
             *acc = SimDuration::ZERO;
@@ -169,6 +224,74 @@ mod tests {
         }
         assert!(oomd.observe(0, 0.5, tick()).is_some());
         assert!(oomd.observe(1, 0.5, tick()).is_none());
+    }
+
+    #[test]
+    fn swap_full_halves_the_kill_threshold() {
+        let mut oomd = OomdMonitor::new(OomdConfig::default());
+        let duress = OomdSignal {
+            full_avg10: 0.15, // below the 0.20 threshold...
+            swap_full: true,  // ...but the relief valve is gone
+            ..OomdSignal::default()
+        };
+        for _ in 0..9 {
+            assert!(oomd.observe_signal(0, duress, tick()).is_none());
+        }
+        let kill = oomd.observe_signal(0, duress, tick()).expect("duress");
+        assert_eq!(kill.container, 0);
+        // Without swap_full the same pressure never kills.
+        let calm_swap = OomdSignal {
+            swap_full: false,
+            ..duress
+        };
+        for _ in 0..100 {
+            assert!(oomd.observe_signal(1, calm_swap, tick()).is_none());
+        }
+    }
+
+    #[test]
+    fn stale_psi_freezes_the_sustain_timer() {
+        let mut oomd = OomdMonitor::new(OomdConfig::default());
+        let hot = OomdSignal {
+            full_avg10: 0.5,
+            ..OomdSignal::default()
+        };
+        let stale = OomdSignal { stale: true, ..hot };
+        // 9 s of real duress, then a long telemetry stall: no kill may
+        // fire on stale data, but the accumulated window survives.
+        for _ in 0..9 {
+            assert!(oomd.observe_signal(0, hot, tick()).is_none());
+        }
+        for _ in 0..60 {
+            assert!(oomd.observe_signal(0, stale, tick()).is_none());
+        }
+        // One fresh sample completes the window.
+        assert!(oomd.observe_signal(0, hot, tick()).is_some());
+    }
+
+    #[test]
+    fn protected_containers_are_never_chosen() {
+        let mut oomd = OomdMonitor::new(OomdConfig::default());
+        let doomed = OomdSignal {
+            full_avg10: 0.9,
+            swap_full: true,
+            protected: true,
+            ..OomdSignal::default()
+        };
+        for _ in 0..1000 {
+            assert!(oomd.observe_signal(3, doomed, tick()).is_none());
+        }
+        assert!(oomd.kills().is_empty());
+        // Lifting protection starts from a clean timer, not a head
+        // start accumulated while protected.
+        let unprotected = OomdSignal {
+            protected: false,
+            ..doomed
+        };
+        for _ in 0..9 {
+            assert!(oomd.observe_signal(3, unprotected, tick()).is_none());
+        }
+        assert!(oomd.observe_signal(3, unprotected, tick()).is_some());
     }
 
     #[test]

@@ -12,6 +12,15 @@ cargo build --release --workspace --offline
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
+echo "==> chaos smoke: ext_chaos --quick --jobs 4 vs golden"
+# Fault schedules are pure hashes of (seed, host index, tick), so the
+# quick chaos sweep's stdout is byte-stable across runs and worker
+# counts; a diff against the checked-in golden file catches any
+# accidental nondeterminism or schedule drift.
+./target/release/repro --experiment ext_chaos --quick --jobs 4 2>/dev/null \
+    | diff -u scripts/golden/ext_chaos_quick.txt - \
+    || { echo "ext_chaos output drifted from scripts/golden/ext_chaos_quick.txt"; exit 1; }
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --workspace --all-targets --offline -- -D warnings

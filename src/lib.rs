@@ -10,12 +10,14 @@
 //! * [`tmo_psi`] — Pressure Stall Information engine.
 //! * [`tmo_mm`] — kernel memory-management substrate.
 //! * [`tmo_backends`] — offload backend device models.
+//! * [`tmo_faults`] — deterministic fault-injection schedules.
 //! * [`tmo_workload`] — synthetic workload and application profiles.
 //! * [`tmo_senpai`] — the Senpai userspace controller.
 //! * [`tmo_gswap`] — the g-swap promotion-rate baseline controller.
 
 pub use tmo;
 pub use tmo_backends;
+pub use tmo_faults;
 pub use tmo_gswap;
 pub use tmo_mm;
 pub use tmo_psi;
