@@ -6,7 +6,7 @@
 //! produces, and no queueing cliff (NVM read bandwidth far exceeds the
 //! paging rates a single host generates).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tmo_sim::{ByteSize, DetRng, SimDuration};
 
@@ -29,7 +29,7 @@ use crate::traits::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBacke
 #[derive(Debug, Clone)]
 pub struct NvmDevice {
     capacity: ByteSize,
-    stored: HashMap<u64, ByteSize>,
+    stored: BTreeMap<u64, ByteSize>,
     next_token: u64,
     stats: BackendStats,
     read_median: SimDuration,
@@ -45,7 +45,7 @@ impl NvmDevice {
     pub fn new(capacity: ByteSize) -> Self {
         NvmDevice {
             capacity,
-            stored: HashMap::new(),
+            stored: BTreeMap::new(),
             next_token: 0,
             stats: BackendStats::default(),
             read_median: SimDuration::from_micros(3),

@@ -7,7 +7,7 @@
 //! a pTBW endurance budget — the paper's §4.5 write-regulation mechanism
 //! reads these counters.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tmo_sim::{ByteSize, DetRng, SimDuration};
 
@@ -91,7 +91,7 @@ impl SsdSpec {
 #[derive(Debug, Clone)]
 pub struct SsdDevice {
     spec: SsdSpec,
-    stored: HashMap<u64, ByteSize>,
+    stored: BTreeMap<u64, ByteSize>,
     next_token: u64,
     read_queue: CongestionModel,
     write_queue: CongestionModel,
@@ -119,7 +119,7 @@ impl SsdDevice {
         let write_queue = CongestionModel::new(spec.write_iops);
         SsdDevice {
             spec,
-            stored: HashMap::new(),
+            stored: BTreeMap::new(),
             next_token: 0,
             read_queue,
             write_queue,

@@ -15,7 +15,7 @@
 //!   warmer candidates. Demotion pays the SSD write (endurance) like any
 //!   other swap-out.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tmo_sim::{ByteSize, DetRng, SimDuration};
 
@@ -67,7 +67,7 @@ pub struct TieredBackend {
     cold: SsdDevice,
     demote_after: SimDuration,
     min_compress_ratio: f64,
-    entries: HashMap<u64, Entry>,
+    entries: BTreeMap<u64, Entry>,
     next_token: u64,
     clock: SimDuration,
     /// Cumulative pages demoted warm → cold.
@@ -103,7 +103,7 @@ impl TieredBackend {
             cold,
             demote_after,
             min_compress_ratio,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             next_token: 0,
             clock: SimDuration::ZERO,
             demotions: 0,
@@ -139,6 +139,9 @@ impl TieredBackend {
     }
 
     fn demote_expired(&mut self) {
+        // BTreeMap keeps this scan in token order, so the sequence of
+        // SSD stores (and the rng draws they consume) is identical on
+        // every run — hash order here would silently vary per process.
         let expired: Vec<u64> = self
             .entries
             .iter()

@@ -8,7 +8,7 @@
 //! deployment settled on zstd + zsmalloc after comparing lzo/lz4/zstd
 //! and z3fold/zbud/zsmalloc (§5.1).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tmo_sim::{ByteSize, DetRng, SimDuration};
 
@@ -96,7 +96,7 @@ pub struct ZswapPool {
     name: String,
     capacity: ByteSize,
     allocator: ZswapAllocator,
-    stored: HashMap<u64, ByteSize>,
+    stored: BTreeMap<u64, ByteSize>,
     next_token: u64,
     stats: BackendStats,
     /// Median decompression-side fault latency.
@@ -124,7 +124,7 @@ impl ZswapPool {
             name: format!("zswap-{allocator}"),
             capacity,
             allocator,
-            stored: HashMap::new(),
+            stored: BTreeMap::new(),
             next_token: 0,
             stats: BackendStats::default(),
             read_median,

@@ -1,0 +1,50 @@
+//! rustc-style diagnostic rendering.
+
+use std::fmt;
+
+use crate::rules::Rule;
+
+/// One finding, located in a workspace-relative file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "error[determinism::{}]: {}",
+            self.rule.id(),
+            self.message
+        )?;
+        writeln!(f, "  --> {}:{}", self.file, self.line)?;
+        write!(f, "   = help: {}", self.rule.help())
+    }
+}
+
+/// One accepted `// lint: allow(...)` escape hatch, for the golden
+/// inventory (`tmo-lint --allows`): new annotations must show up in
+/// review as a golden-file diff.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowSite {
+    pub file: String,
+    pub line: u32,
+    pub rule: String,
+    pub justification: String,
+}
+
+impl fmt::Display for AllowSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} allow({}) {}",
+            self.file, self.line, self.rule, self.justification
+        )
+    }
+}

@@ -1,0 +1,413 @@
+//! A minimal Rust lexer for the determinism analyzer.
+//!
+//! The build environment is fully offline (no `syn`/`proc-macro2`), so
+//! the analyzer carries its own token scanner, in the same spirit as
+//! the `proptest`/`criterion` shims under `shims/`. It does not build a
+//! syntax tree; it produces a flat token stream with line numbers,
+//! which is enough for the pattern rules in [`crate::rules`]:
+//!
+//! * comments (line, nested block, doc) and string/char literals are
+//!   stripped, so `"HashMap"` in a message or a doc-test never trips a
+//!   rule;
+//! * `// lint: allow(<rule>) <justification>` comments are extracted as
+//!   [`Allow`] annotations;
+//! * token runs under `#[cfg(test)]` items or `#[test]` functions are
+//!   flagged as test code, which every rule skips — the determinism
+//!   contract binds simulation code, not its tests.
+
+/// One lexed token: an identifier/number run or a punctuation glyph
+/// (`::` is fused into a single token for pattern convenience).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: u32,
+    /// Token text.
+    pub text: String,
+    /// Inside a `#[cfg(test)]` item or `#[test]` function body.
+    pub in_test: bool,
+}
+
+/// One `// lint: allow(<rule>) <justification>` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// The rule id inside `allow(...)`, verbatim.
+    pub rule: String,
+    /// Everything after the closing paren, trimmed. The analyzer
+    /// requires this to be non-empty: an escape hatch without a reason
+    /// is itself a finding.
+    pub justification: String,
+}
+
+/// A fully lexed source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    pub tokens: Vec<Token>,
+    pub allows: Vec<Allow>,
+}
+
+impl LexedFile {
+    /// Lines that carry at least one non-test code token, in order.
+    /// Used to resolve which line a standalone annotation targets.
+    pub fn next_code_line(&self, after: u32) -> Option<u32> {
+        self.tokens.iter().find(|t| t.line > after).map(|t| t.line)
+    }
+
+    /// Whether any code token sits on `line` (annotation placed at the
+    /// end of a code line vs. on a line of its own).
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.tokens.iter().any(|t| t.line == line)
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes one file. Never fails: unterminated constructs simply consume
+/// the rest of the input, which is the right degradation for a linter.
+pub fn lex(source: &str) -> LexedFile {
+    let mut out = LexedFile::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let n = chars.len();
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Line comment (incl. doc comments).
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            let comment_line = line;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if let Some(allow) = parse_allow(&text, comment_line) {
+                out.allows.push(allow);
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1;
+            bump!();
+            bump!();
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Raw (byte) strings: r"...", r#"..."#, br##"..."##.
+        if (c == 'r' || c == 'b') && !prev_is_ident(&chars, i) {
+            if let Some(skip) = raw_string_len(&chars, i) {
+                for _ in 0..skip {
+                    bump!();
+                }
+                continue;
+            }
+        }
+        // Plain (byte) string.
+        if c == '"' {
+            bump!();
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    bump!();
+                    bump!();
+                } else if chars[i] == '"' {
+                    bump!();
+                    break;
+                } else {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            if let Some(skip) = char_literal_len(&chars, i) {
+                for _ in 0..skip {
+                    bump!();
+                }
+            } else {
+                // Lifetime: skip the quote and the ident.
+                bump!();
+                while i < n && is_ident_char(chars[i]) {
+                    bump!();
+                }
+            }
+            continue;
+        }
+        // Identifier / number run.
+        if is_ident_char(c) {
+            let start = i;
+            while i < n && is_ident_char(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                line,
+                text: chars[start..i].iter().collect(),
+                in_test: false,
+            });
+            continue;
+        }
+        // Fused `::`.
+        if c == ':' && i + 1 < n && chars[i + 1] == ':' {
+            out.tokens.push(Token {
+                line,
+                text: "::".to_string(),
+                in_test: false,
+            });
+            i += 2;
+            continue;
+        }
+        if !c.is_whitespace() {
+            out.tokens.push(Token {
+                line,
+                text: c.to_string(),
+                in_test: false,
+            });
+        }
+        bump!();
+    }
+
+    mark_test_regions(&mut out.tokens);
+    out
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && is_ident_char(chars[i - 1])
+}
+
+/// If `chars[i..]` starts a raw string literal, its total length.
+fn raw_string_len(chars: &[char], i: usize) -> Option<usize> {
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j >= n || chars[j] != 'r' {
+            return None;
+        }
+    }
+    if j >= n || chars[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < n && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || chars[j] != '"' {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    while j < n {
+        if chars[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(j + 1 + hashes - i);
+            }
+        }
+        j += 1;
+    }
+    Some(n - i)
+}
+
+/// If `chars[i..]` (starting at `'`) is a char literal, its length;
+/// `None` means it is a lifetime.
+fn char_literal_len(chars: &[char], i: usize) -> Option<usize> {
+    let n = chars.len();
+    if i + 1 >= n {
+        return Some(1);
+    }
+    if chars[i + 1] == '\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2;
+        while j < n && chars[j] != '\'' {
+            j += 1;
+        }
+        return Some(j.min(n - 1) + 1 - i);
+    }
+    // `'x'` is a char literal; `'x` followed by anything else is a
+    // lifetime (or loop label).
+    if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+        return Some(3);
+    }
+    None
+}
+
+/// Parses `lint: allow(<rule>) <justification>` out of a line comment.
+/// Only plain `//` comments whose body *starts* with `lint:` count:
+/// doc comments (`///`, `//!`) merely talking about the syntax, or a
+/// mention buried mid-sentence, are not annotations.
+fn parse_allow(comment: &str, line: u32) -> Option<Allow> {
+    let body = comment.strip_prefix("//")?;
+    if body.starts_with('/') || body.starts_with('!') {
+        return None;
+    }
+    let rest = body.trim_start().strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule = rest[..close].trim().to_string();
+    let justification = rest[close + 1..]
+        .trim()
+        .trim_start_matches(['-', '—', ':'])
+        .trim()
+        .to_string();
+    Some(Allow {
+        line,
+        rule,
+        justification,
+    })
+}
+
+/// Marks tokens inside `#[cfg(test)]` items and `#[test]` functions.
+///
+/// The scan looks for the attribute token sequence, then brace-matches
+/// the first `{ ... }` block that follows it (the test module or
+/// function body) and flags everything in between.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_test_attr(tokens, i) {
+            // Find the opening brace of the annotated item.
+            let mut j = i;
+            while j < tokens.len() && tokens[j].text != "{" {
+                // `#[cfg(test)] mod foo;` — nothing to mark.
+                if tokens[j].text == ";" {
+                    break;
+                }
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].text == "{" {
+                let mut depth = 0usize;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                tokens[j].in_test = true;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    tokens[j].in_test = true;
+                    j += 1;
+                }
+                // Also mark the attribute tokens themselves.
+                let end = j.min(tokens.len());
+                for t in &mut tokens[i..end] {
+                    t.in_test = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `#[cfg(test)]` or `#[test]` starting at token `i`.
+fn is_test_attr(tokens: &[Token], i: usize) -> bool {
+    let texts: Vec<&str> = tokens[i..tokens.len().min(i + 7)]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect();
+    texts.starts_with(&["#", "[", "cfg", "(", "test", ")", "]"])
+        || texts.starts_with(&["#", "[", "test", "]"])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let lexed = lex("let a = \"HashMap\"; // HashMap\n/* HashMap */ let b = 1;");
+        assert!(!lexed.tokens.iter().any(|t| t.text == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lexed.tokens.iter().any(|t| t.text == "str"));
+    }
+
+    #[test]
+    fn char_literals_are_skipped() {
+        let lexed = lex("let c = 'x'; let d = '\\n'; let e = HashMap::new();");
+        assert!(lexed.tokens.iter().any(|t| t.text == "HashMap"));
+        assert!(!lexed.tokens.iter().any(|t| t.text == "x"));
+    }
+
+    #[test]
+    fn raw_strings_are_skipped() {
+        let lexed = lex("let s = r#\"HashMap \" quote\"#; let t = SystemTime::UNIX_EPOCH;");
+        assert!(!lexed.tokens.iter().any(|t| t.text == "HashMap"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "SystemTime"));
+    }
+
+    #[test]
+    fn allow_annotations_are_parsed() {
+        let lexed = lex("use x; // lint: allow(hash-iter) token map is never iterated\n");
+        assert_eq!(lexed.allows.len(), 1);
+        assert_eq!(lexed.allows[0].rule, "hash-iter");
+        assert_eq!(lexed.allows[0].line, 1);
+        assert!(lexed.allows[0].justification.contains("never iterated"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "struct S;\n#[cfg(test)]\nmod tests {\n    fn f() { Instant::now(); }\n}\n";
+        let lexed = lex(src);
+        let instant = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "Instant")
+            .expect("token present");
+        assert!(instant.in_test);
+        let s = lexed.tokens.iter().find(|t| t.text == "S").expect("S");
+        assert!(!s.in_test);
+    }
+
+    #[test]
+    fn test_fn_bodies_are_marked() {
+        let src = "#[test]\nfn t() { x.unwrap(); }\nfn real() { y.unwrap(); }";
+        let lexed = lex(src);
+        let unwraps: Vec<bool> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.text == "unwrap")
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+}

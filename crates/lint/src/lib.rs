@@ -1,0 +1,263 @@
+//! `tmo-lint` — the workspace determinism analyzer.
+//!
+//! The repo's load-bearing guarantee is that every simulated host is
+//! bit-reproducible from `(seed, host_index, tick)` alone. The
+//! seed-stability and chaos-determinism suites pin that *dynamically*;
+//! this crate enforces it *statically*, as a CI gate (`scripts/ci.sh`),
+//! so a `HashMap` in sim state or a stray wall-clock read becomes a
+//! build error instead of a latent heisenbug a lucky test run never
+//! catches.
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo run -p tmo-lint            # analyze, exit 1 on any finding
+//! cargo run -p tmo-lint -- --allows  # print the allow-site inventory
+//! ```
+//!
+//! The four rules and their scopes live in [`rules`] and [`scope_for`];
+//! the escape hatch is a justified `// lint: allow(<rule>) <why>`
+//! comment on (or immediately above) the offending line. The analyzer
+//! is dependency-free — the offline build environment has no `syn`, so
+//! [`lexer`] carries a small token scanner in the same spirit as the
+//! `proptest`/`criterion` shims.
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use diag::{AllowSite, Finding};
+pub use rules::{Rule, RuleSet};
+
+/// Result of analyzing a workspace (or a single fixture file).
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Accepted (justified, matching) allow sites, sorted.
+    pub allows: Vec<AllowSite>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Crates whose `src/` trees carry simulation state and are bound by
+/// the hash-iteration and float-reduction rules. `experiments` is
+/// deliberately absent: report formatting is not sim state (it is still
+/// bound by the wall-clock rule — its *output* must be reproducible).
+const SIM_CRATES: [&str; 9] = [
+    "backends", "core", "faults", "gswap", "mm", "psi", "senpai", "sim", "workload",
+];
+
+/// Decides which rules bind a workspace-relative path.
+///
+/// * `shims/` (offline stand-ins for criterion/proptest, which
+///   legitimately time things), `crates/bench` harness glue, the lint
+///   crate itself, and `tests/` trees are out of scope entirely;
+/// * every other `src/` file is bound by the wall-clock rule;
+/// * sim crates add hash-iteration and float-reduction;
+/// * `crates/faults/src` adds the unwrap ban (graceful degradation).
+pub fn scope_for(rel: &str) -> RuleSet {
+    let mut rules = RuleSet::default();
+    if !rel.ends_with(".rs")
+        || rel.starts_with("shims/")
+        || rel.starts_with("crates/lint/")
+        || rel.starts_with("crates/bench/")
+        || rel.contains("/tests/")
+        || rel.starts_with("target/")
+    {
+        return rules;
+    }
+    rules.wall_clock = true;
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let (krate, _) = rest.split_once('/').unwrap_or((rest, ""));
+        if SIM_CRATES.contains(&krate) {
+            rules.hash_iter = true;
+            rules.float_reduction = true;
+        }
+        if krate == "faults" {
+            rules.unwrap_in_fault_path = true;
+        }
+    }
+    rules
+}
+
+/// Analyzes one source file under a given rule set. Annotation
+/// handling is shared with the workspace walk, so fixtures exercise
+/// the exact production path.
+pub fn analyze_source(rel: &str, source: &str, rules: RuleSet) -> Analysis {
+    let lexed = lexer::lex(source);
+    let raw = rules::check(&lexed, rules);
+
+    // Resolve each annotation to the line(s) it suppresses: its own
+    // line when it trails code, otherwise the next line carrying code.
+    let mut suppressed: Vec<(Rule, u32)> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut allows: Vec<AllowSite> = Vec::new();
+    for a in &lexed.allows {
+        let Some(rule) = Rule::from_id(&a.rule) else {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: a.line,
+                rule: Rule::BadAnnotation,
+                message: format!("unknown rule `{}` in lint allow annotation", a.rule),
+            });
+            continue;
+        };
+        if a.justification.is_empty() {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: a.line,
+                rule: Rule::BadAnnotation,
+                message: format!("allow({}) annotation without a justification", rule.id()),
+            });
+            continue;
+        }
+        let target = if lexed.has_code_on(a.line) {
+            a.line
+        } else {
+            lexed.next_code_line(a.line).unwrap_or(a.line)
+        };
+        suppressed.push((rule, target));
+        allows.push(AllowSite {
+            file: rel.to_string(),
+            line: a.line,
+            rule: rule.id().to_string(),
+            justification: a.justification.clone(),
+        });
+    }
+
+    for f in raw {
+        if suppressed.contains(&(f.rule, f.line)) {
+            continue;
+        }
+        findings.push(Finding {
+            file: rel.to_string(),
+            line: f.line,
+            rule: f.rule,
+            message: f.message,
+        });
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Analysis {
+        findings,
+        allows,
+        files_scanned: 1,
+    }
+}
+
+/// Walks the workspace and analyzes every in-scope file.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
+    let mut files: BTreeSet<PathBuf> = BTreeSet::new();
+    collect_rs(&root.join("crates"), &mut files)?;
+    collect_rs(&root.join("src"), &mut files)?;
+
+    let mut analysis = Analysis::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let rules = scope_for(&rel);
+        if rules.is_empty() {
+            continue;
+        }
+        let source = fs::read_to_string(&path)?;
+        let one = analyze_source(&rel, &source, rules);
+        analysis.findings.extend(one.findings);
+        analysis.allows.extend(one.allows);
+        analysis.files_scanned += 1;
+    }
+    analysis
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    analysis.allows.sort();
+    Ok(analysis)
+}
+
+fn collect_rs(dir: &Path, out: &mut BTreeSet<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.insert(path);
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root from a starting directory by walking up to
+/// the first directory holding both `Cargo.toml` and `crates/`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_rules_match_the_contract() {
+        let senpai = scope_for("crates/senpai/src/controller.rs");
+        assert!(senpai.hash_iter && senpai.wall_clock && senpai.float_reduction);
+        assert!(!senpai.unwrap_in_fault_path);
+        let faults = scope_for("crates/faults/src/backend.rs");
+        assert!(faults.unwrap_in_fault_path);
+        assert!(scope_for("shims/criterion/src/lib.rs").is_empty());
+        assert!(scope_for("crates/lint/src/lib.rs").is_empty());
+        assert!(scope_for("crates/senpai/tests/properties.rs").is_empty());
+        let experiments = scope_for("crates/experiments/src/headline.rs");
+        assert!(experiments.wall_clock && !experiments.hash_iter);
+    }
+
+    #[test]
+    fn trailing_annotation_suppresses_its_line() {
+        let src = "let t = Instant::now(); // lint: allow(wall-clock) stderr-only timing\n";
+        let a = analyze_source("x.rs", src, RuleSet::all());
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+        assert_eq!(a.allows.len(), 1);
+    }
+
+    #[test]
+    fn standalone_annotation_suppresses_next_line() {
+        let src = "// lint: allow(wall-clock) stderr-only timing\nlet t = Instant::now();\n";
+        let a = analyze_source("x.rs", src, RuleSet::all());
+        assert!(a.findings.is_empty(), "{:?}", a.findings);
+    }
+
+    #[test]
+    fn unjustified_annotation_is_a_finding() {
+        let src = "let t = Instant::now(); // lint: allow(wall-clock)\n";
+        let a = analyze_source("x.rs", src, RuleSet::all());
+        assert!(a.findings.iter().any(|f| f.rule == Rule::BadAnnotation));
+    }
+
+    #[test]
+    fn unknown_rule_annotation_is_a_finding() {
+        let src = "let x = 1; // lint: allow(no-such-rule) because reasons\n";
+        let a = analyze_source("x.rs", src, RuleSet::all());
+        assert!(a.findings.iter().any(|f| f.rule == Rule::BadAnnotation));
+    }
+
+    #[test]
+    fn annotation_for_the_wrong_rule_does_not_suppress() {
+        let src = "let t = Instant::now(); // lint: allow(hash-iter) wrong rule\n";
+        let a = analyze_source("x.rs", src, RuleSet::all());
+        assert!(a.findings.iter().any(|f| f.rule == Rule::WallClock));
+    }
+}

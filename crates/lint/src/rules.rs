@@ -1,0 +1,393 @@
+//! The four determinism rules.
+//!
+//! Every simulated host must be bit-reproducible from `(seed,
+//! host_index, tick)` alone — the contract the seed-stability and
+//! chaos-determinism suites pin dynamically. These rules make the
+//! common ways of breaking it a static error:
+//!
+//! * [`Rule::HashIter`] — `HashMap`/`HashSet` in sim state. Hash
+//!   iteration order is randomized per process (SipHash keys from OS
+//!   entropy), so any iteration — or any future iteration added to a
+//!   field that exists today — silently diverges across runs.
+//! * [`Rule::WallClock`] — `Instant::now`, `SystemTime::now`,
+//!   `thread_rng` and friends inject ambient host state. Only the
+//!   annotated timing layer in `crates/core/src/runner.rs` (stderr
+//!   speedup reporting) is exempt.
+//! * [`Rule::FloatReduction`] — `sum()`/`fold()`/`product()` of floats
+//!   over a hash-ordered container: float addition is not associative,
+//!   so even a "sum is order-independent" intuition is wrong.
+//! * [`Rule::UnwrapInFaultPath`] — `unwrap()`/`expect()` in the fault
+//!   layer, whose whole point (PR 2) is graceful degradation through
+//!   `Option`/outcome variants rather than panics.
+
+use crate::lexer::{LexedFile, Token};
+
+/// Rule identifiers. [`Rule::BadAnnotation`] is the meta-rule: a
+/// malformed or unjustified `// lint: allow(...)` escape hatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    HashIter,
+    WallClock,
+    FloatReduction,
+    UnwrapInFaultPath,
+    BadAnnotation,
+}
+
+impl Rule {
+    /// The id used in diagnostics and `allow(...)` annotations.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HashIter => "hash-iter",
+            Rule::WallClock => "wall-clock",
+            Rule::FloatReduction => "float-reduction",
+            Rule::UnwrapInFaultPath => "unwrap-in-fault-path",
+            Rule::BadAnnotation => "bad-annotation",
+        }
+    }
+
+    /// All annotatable rules (everything except the meta-rule).
+    pub const ALLOWABLE: [Rule; 4] = [
+        Rule::HashIter,
+        Rule::WallClock,
+        Rule::FloatReduction,
+        Rule::UnwrapInFaultPath,
+    ];
+
+    /// Parses an `allow(...)` id.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALLOWABLE.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// One-line remediation hint shown under each diagnostic.
+    pub fn help(self) -> &'static str {
+        match self {
+            Rule::HashIter => {
+                "use BTreeMap/BTreeSet or an index-ordered Vec, or annotate \
+                 `// lint: allow(hash-iter) <why>`"
+            }
+            Rule::WallClock => {
+                "derive time/randomness from (seed, host_index, tick); only the \
+                 annotated runner.rs timing layer may read the host clock"
+            }
+            Rule::FloatReduction => {
+                "reduce floats in index order (collect into a Vec or iterate a \
+                 BTreeMap) so the summation order is deterministic"
+            }
+            Rule::UnwrapInFaultPath => {
+                "fault paths degrade gracefully: return the Option/outcome \
+                 variant instead of panicking"
+            }
+            Rule::BadAnnotation => {
+                "write `// lint: allow(<rule-id>) <justification>` with a known \
+                 rule id and a non-empty justification"
+            }
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+/// Which rule families apply to a file (decided by path in
+/// [`crate::scope_for`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    pub hash_iter: bool,
+    pub wall_clock: bool,
+    pub float_reduction: bool,
+    pub unwrap_in_fault_path: bool,
+}
+
+impl RuleSet {
+    /// Every rule on — used for fixtures.
+    pub fn all() -> Self {
+        RuleSet {
+            hash_iter: true,
+            wall_clock: true,
+            float_reduction: true,
+            unwrap_in_fault_path: true,
+        }
+    }
+
+    pub fn is_empty(self) -> bool {
+        self == RuleSet::default()
+    }
+}
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const ITER_METHODS: [&str; 4] = ["iter", "iter_mut", "values", "keys"];
+const REDUCERS: [&str; 3] = ["sum", "fold", "product"];
+
+/// Runs the enabled rules over one lexed file.
+pub fn check(lexed: &LexedFile, rules: RuleSet) -> Vec<RawFinding> {
+    let mut findings = Vec::new();
+    let tokens: Vec<&Token> = lexed.tokens.iter().filter(|t| !t.in_test).collect();
+
+    let hash_idents = declared_hash_idents(&tokens);
+
+    if rules.hash_iter {
+        hash_iter(&tokens, &hash_idents, &mut findings);
+    }
+    if rules.wall_clock {
+        wall_clock(&tokens, &mut findings);
+    }
+    if rules.float_reduction {
+        float_reduction(&tokens, &hash_idents, &mut findings);
+    }
+    if rules.unwrap_in_fault_path {
+        unwrap_in_fault_path(&tokens, &mut findings);
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings.dedup_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Identifiers declared with a hash-ordered type in this file: either a
+/// field/binding type annotation (`name: HashMap<..>`) or a constructor
+/// binding (`let name = HashMap::new()` / `with_capacity`).
+fn declared_hash_idents(tokens: &[&Token]) -> Vec<String> {
+    let mut names = Vec::new();
+    for w in tokens.windows(3) {
+        let [a, b, c] = w else { continue };
+        if b.text == ":" && HASH_TYPES.contains(&c.text.as_str()) && is_ident(&a.text) {
+            names.push(a.text.clone());
+        }
+        if b.text == "=" && HASH_TYPES.contains(&c.text.as_str()) && is_ident(&a.text) {
+            names.push(a.text.clone());
+        }
+    }
+    names.sort();
+    names.dedup();
+    names
+}
+
+fn is_ident(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// Rule 1: any mention of a hash-ordered collection type, plus explicit
+/// iteration over an identifier declared with one.
+fn hash_iter(tokens: &[&Token], hash_idents: &[String], findings: &mut Vec<RawFinding>) {
+    for t in tokens {
+        if HASH_TYPES.contains(&t.text.as_str()) {
+            findings.push(RawFinding {
+                line: t.line,
+                rule: Rule::HashIter,
+                message: format!("hash-ordered collection `{}` in a sim path", t.text),
+            });
+        }
+    }
+    // `name.iter()` / `.values()` / `.keys()` on a known hash ident,
+    // and `for x in &name` loops.
+    for i in 0..tokens.len() {
+        let t = tokens[i];
+        if hash_idents.contains(&t.text) {
+            if let (Some(dot), Some(m)) = (tokens.get(i + 1), tokens.get(i + 2)) {
+                if dot.text == "." && ITER_METHODS.contains(&m.text.as_str()) {
+                    findings.push(RawFinding {
+                        line: m.line,
+                        rule: Rule::HashIter,
+                        message: format!(
+                            "hash-ordered iteration `{}.{}()` in a sim path",
+                            t.text, m.text
+                        ),
+                    });
+                }
+            }
+        }
+        if t.text == "for" {
+            // for <pat> in [&[mut]] <hash_ident> {
+            let mut j = i + 1;
+            while j < tokens.len() && tokens[j].text != "in" && tokens[j].text != "{" {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].text == "in" {
+                let mut k = j + 1;
+                while k < tokens.len() && (tokens[k].text == "&" || tokens[k].text == "mut") {
+                    k += 1;
+                }
+                if k + 1 < tokens.len()
+                    && hash_idents.contains(&tokens[k].text)
+                    && tokens[k + 1].text == "{"
+                {
+                    findings.push(RawFinding {
+                        line: tokens[k].line,
+                        rule: Rule::HashIter,
+                        message: format!(
+                            "hash-ordered `for` loop over `{}` in a sim path",
+                            tokens[k].text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Wall-clock / ambient-entropy constructors. `(A, B)` means the token
+/// sequence `A :: B`; a bare name matches a lone identifier.
+const CLOCK_PATHS: [(&str, &str); 5] = [
+    ("Instant", "now"),
+    ("SystemTime", "now"),
+    ("Utc", "now"),
+    ("Local", "now"),
+    ("rand", "random"),
+];
+const CLOCK_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "OsRng"];
+
+/// Rule 2: ambient time or entropy.
+fn wall_clock(tokens: &[&Token], findings: &mut Vec<RawFinding>) {
+    for i in 0..tokens.len() {
+        let t = tokens[i];
+        for (ty, method) in CLOCK_PATHS {
+            if t.text == ty
+                && tokens.get(i + 1).is_some_and(|p| p.text == "::")
+                && tokens.get(i + 2).is_some_and(|m| m.text == method)
+            {
+                findings.push(RawFinding {
+                    line: t.line,
+                    rule: Rule::WallClock,
+                    message: format!("ambient clock/entropy `{ty}::{method}` in sim code"),
+                });
+            }
+        }
+        if CLOCK_IDENTS.contains(&t.text.as_str()) {
+            findings.push(RawFinding {
+                line: t.line,
+                rule: Rule::WallClock,
+                message: format!("ambient entropy source `{}` in sim code", t.text),
+            });
+        }
+    }
+}
+
+/// Rule 3: a float reduction (`sum`/`fold`/`product`) in the same
+/// statement as hash-ordered iteration. Statements are approximated as
+/// token runs delimited by `;` and `{`/`}` — good enough for a chained
+/// expression like `m.values().map(..).sum::<f64>()`.
+fn float_reduction(tokens: &[&Token], hash_idents: &[String], findings: &mut Vec<RawFinding>) {
+    let mut start = 0usize;
+    for i in 0..=tokens.len() {
+        let boundary = i == tokens.len() || matches!(tokens[i].text.as_str(), ";" | "{" | "}");
+        if !boundary {
+            continue;
+        }
+        let stmt = &tokens[start..i];
+        start = i + 1;
+        // Hash-ordered source in this statement?
+        let hash_src = stmt.windows(3).any(|w| {
+            w[1].text == "."
+                && ITER_METHODS.contains(&w[2].text.as_str())
+                && (hash_idents.contains(&w[0].text) || HASH_TYPES.contains(&w[0].text.as_str()))
+        });
+        if !hash_src {
+            continue;
+        }
+        for w in stmt.windows(2) {
+            if w[0].text == "." && REDUCERS.contains(&w[1].text.as_str()) {
+                findings.push(RawFinding {
+                    line: w[1].line,
+                    rule: Rule::FloatReduction,
+                    message: format!(
+                        "float reduction `.{}()` over a hash-ordered iterator",
+                        w[1].text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 4: `unwrap()`/`expect()` where the contract is graceful
+/// degradation.
+fn unwrap_in_fault_path(tokens: &[&Token], findings: &mut Vec<RawFinding>) {
+    for w in tokens.windows(2) {
+        if w[0].text == "." && (w[1].text == "unwrap" || w[1].text == "expect") {
+            findings.push(RawFinding {
+                line: w[1].line,
+                rule: Rule::UnwrapInFaultPath,
+                message: format!(
+                    "`.{}()` in a fault-degradation path (must return the graceful variant)",
+                    w[1].text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<RawFinding> {
+        check(&lex(src), RuleSet::all())
+    }
+
+    #[test]
+    fn hash_field_and_iteration_are_flagged() {
+        let f = run("struct S { m: HashMap<u32, u64> }\nfn f(s: &S) { for v in &s.m {} }");
+        assert!(f.iter().any(|x| x.rule == Rule::HashIter && x.line == 1));
+    }
+
+    #[test]
+    fn values_iteration_on_declared_ident() {
+        let f = run("let m = HashMap::new();\nlet c = m.values().count();");
+        assert!(f.iter().any(|x| x.rule == Rule::HashIter && x.line == 2));
+    }
+
+    #[test]
+    fn btreemap_is_clean() {
+        let f = run("let m: BTreeMap<u32, f64> = BTreeMap::new();\nlet s: f64 = m.values().sum();");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn wall_clock_constructors_are_flagged() {
+        let f = run("let t = Instant::now();\nlet r = thread_rng();");
+        assert_eq!(
+            f.iter().filter(|x| x.rule == Rule::WallClock).count(),
+            2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn float_sum_over_hash_values_is_flagged() {
+        let f = run("let m: HashMap<u32, f64> = HashMap::new();\nlet s: f64 = m.values().sum();");
+        assert!(f
+            .iter()
+            .any(|x| x.rule == Rule::FloatReduction && x.line == 2));
+    }
+
+    #[test]
+    fn vec_sum_is_not_a_float_reduction_finding() {
+        let f = run("let v: Vec<f64> = vec![];\nlet s: f64 = v.iter().sum();");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_flagged() {
+        let f = run("fn f(x: Option<u32>) -> u32 {\n x.unwrap() +\n x.expect(\"y\") }");
+        assert_eq!(
+            f.iter()
+                .filter(|x| x.rule == Rule::UnwrapInFaultPath)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)]\nmod tests {\n fn t() { let m = HashMap::new(); }\n}");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Fixture suite: each known-bad file under `tests/fixtures/` must trip
+//! exactly its expected rule at the expected lines, the clean fixture
+//! must pass every rule, and annotations must behave as the escape
+//! hatch they are documented to be.
+
+use std::path::Path;
+
+use tmo_lint::{analyze_source, Rule, RuleSet};
+
+fn analyze_fixture(name: &str) -> tmo_lint::Analysis {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    analyze_source(name, &source, RuleSet::all())
+}
+
+/// The `(rule, line)` pairs of every finding, sorted.
+fn findings(name: &str) -> Vec<(&'static str, u32)> {
+    let mut out: Vec<(&'static str, u32)> = analyze_fixture(name)
+        .findings
+        .iter()
+        .map(|f| (f.rule.id(), f.line))
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn bad_hash_iter_trips_field_loop_and_values() {
+    assert_eq!(
+        findings("bad_hash_iter.rs"),
+        vec![
+            ("hash-iter", 6),  // use std::collections::HashMap
+            ("hash-iter", 9),  // HashMap field in sim state
+            ("hash-iter", 12), // HashMap parameter type
+            ("hash-iter", 14), // for loop over the hash map
+            ("hash-iter", 21), // .values() iteration
+        ]
+    );
+}
+
+#[test]
+fn bad_wall_clock_trips_each_ambient_source() {
+    assert_eq!(
+        findings("bad_wall_clock.rs"),
+        vec![
+            ("wall-clock", 10), // Instant::now
+            ("wall-clock", 11), // SystemTime::now
+            ("wall-clock", 16), // thread_rng
+        ]
+    );
+}
+
+#[test]
+fn bad_float_reduction_trips_only_the_reduction() {
+    assert_eq!(
+        findings("bad_float_reduction.rs"),
+        vec![("float-reduction", 12)],
+        "hash-iter decoys must be suppressed by the annotations"
+    );
+    // The escape hatch really was exercised: two accepted allow sites.
+    let analysis = analyze_fixture("bad_float_reduction.rs");
+    assert_eq!(analysis.allows.len(), 2);
+    assert!(analysis.allows.iter().all(|a| a.rule == "hash-iter"));
+}
+
+#[test]
+fn bad_unwrap_fault_trips_unwrap_and_expect() {
+    assert_eq!(
+        findings("bad_unwrap_fault.rs"),
+        vec![("unwrap-in-fault-path", 7), ("unwrap-in-fault-path", 8)]
+    );
+}
+
+#[test]
+fn clean_fixture_passes_every_rule() {
+    let analysis = analyze_fixture("clean.rs");
+    assert!(
+        analysis.findings.is_empty(),
+        "clean fixture must produce zero findings, got: {:#?}",
+        analysis.findings
+    );
+}
+
+#[test]
+fn diagnostics_render_rustc_style() {
+    let analysis = analyze_fixture("bad_wall_clock.rs");
+    let rendered = analysis.findings[0].to_string();
+    assert!(
+        rendered.starts_with("error[determinism::wall-clock]:"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("--> bad_wall_clock.rs:10"), "{rendered}");
+    assert!(rendered.contains("= help:"), "{rendered}");
+}
+
+#[test]
+fn every_bad_fixture_trips_only_its_own_rule() {
+    for (fixture, rule) in [
+        ("bad_hash_iter.rs", Rule::HashIter),
+        ("bad_wall_clock.rs", Rule::WallClock),
+        ("bad_float_reduction.rs", Rule::FloatReduction),
+        ("bad_unwrap_fault.rs", Rule::UnwrapInFaultPath),
+    ] {
+        let analysis = analyze_fixture(fixture);
+        assert!(!analysis.findings.is_empty(), "{fixture} must trip");
+        for f in &analysis.findings {
+            assert_eq!(f.rule, rule, "{fixture} tripped a foreign rule: {f:?}");
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! Known-bad fixture for rule `float-reduction`.
+//!
+//! An `f64` sum over a hash-ordered iterator: float addition is not
+//! associative, so the reduction result depends on iteration order.
+//! The hash-iter decoys are annotated away so this fixture isolates
+//! the reduction rule (and exercises the escape hatch while at it).
+
+pub fn mean_latency() -> f64 {
+    // lint: allow(hash-iter) fixture isolates the float-reduction rule
+    let lat: HashMap<u64, f64> = HashMap::new();
+    // lint: allow(hash-iter) fixture isolates the float-reduction rule
+    let total: f64 = lat.values().sum();
+    total / lat.len() as f64
+}

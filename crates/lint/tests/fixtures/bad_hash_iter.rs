@@ -1,0 +1,22 @@
+//! Known-bad fixture for rule `hash-iter`.
+//!
+//! Hash-ordered collections in simulated host state: the field, the
+//! consuming `for` loop, and the `.values()` iteration must each trip.
+
+use std::collections::HashMap;
+
+pub struct HostState {
+    failures: HashMap<usize, u32>,
+}
+
+pub fn drain(failures: HashMap<usize, u32>) -> u32 {
+    let mut acc = 0;
+    for entry in failures {
+        acc += entry.1;
+    }
+    acc
+}
+
+pub fn snapshot(state: &HostState) -> Vec<u32> {
+    state.failures.values().copied().collect()
+}

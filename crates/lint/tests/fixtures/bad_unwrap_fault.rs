@@ -1,0 +1,9 @@
+//! Known-bad fixture for rule `unwrap-in-fault-path`.
+//!
+//! Fault-degradation paths must return the graceful variants (`None`,
+//! zero-filled loads, failover) rather than panicking.
+
+pub fn reload(token: u64, backend: &mut FaultyBackend) -> Page {
+    let page = backend.load(token).unwrap();
+    page.verify().expect("fault paths must not panic")
+}

@@ -1,0 +1,18 @@
+//! Known-bad fixture for rule `wall-clock`.
+//!
+//! Ambient time and entropy in sim code: host wall-clock reads and a
+//! thread-local RNG, all of which break `(seed, host, tick)`
+//! reproducibility.
+
+use std::time::{Instant, SystemTime};
+
+pub fn tick_duration() -> f64 {
+    let start = Instant::now();
+    let _stamp = SystemTime::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn jitter() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

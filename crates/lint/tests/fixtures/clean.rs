@@ -1,0 +1,47 @@
+//! Known-good fixture: deterministic sim state that every rule accepts.
+//!
+//! BTreeMap state, seed-derived randomness, index-ordered float
+//! reduction, and graceful `Option` handling in the fault path.
+
+use std::collections::BTreeMap;
+
+pub struct HostState {
+    failures: BTreeMap<usize, u32>,
+}
+
+pub fn drain(state: &HostState) -> u32 {
+    state.failures.values().copied().sum()
+}
+
+pub fn mean(samples: &[f64]) -> f64 {
+    let total: f64 = samples.iter().sum();
+    total / samples.len().max(1) as f64
+}
+
+pub fn reload(token: u64, backend: &mut FaultyBackend, rng: &mut DetRng) -> Option<Page> {
+    match backend.load(token, rng) {
+        Some(page) => Some(page),
+        // Lost page: degrade to a zero-filled load, never panic.
+        None => Some(Page::zero_filled()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt_from_every_rule() {
+        let start = Instant::now();
+        let mut m = HashMap::new();
+        m.insert(1u64, 2.0f64);
+        let s: f64 = m.values().sum();
+        assert!(s >= 0.0);
+        assert!(start.elapsed().as_secs() < 3600);
+        drain(&HostState {
+            failures: BTreeMap::new(),
+        });
+    }
+}

@@ -15,7 +15,7 @@
 //! `tests/state_equivalence.rs` verify the two agree on arbitrary
 //! schedules, which is strong evidence both are correct.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tmo_sim::{SimDuration, SimTime};
 
@@ -59,7 +59,7 @@ struct Totals {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct StateTracker {
-    tasks: HashMap<TaskId, TaskState>,
+    tasks: BTreeMap<TaskId, TaskState>,
     totals: [Totals; 3],
     last_event: SimTime,
 }

@@ -1,6 +1,6 @@
 //! The Senpai control law.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tmo_sim::{ByteSize, SimTime};
 
@@ -97,7 +97,7 @@ pub struct Senpai {
     next_run: SimTime,
     /// Consecutive failed reclaims per container, for exponential
     /// backoff. Cleared by the first successful reclaim.
-    failures: HashMap<usize, u32>,
+    failures: BTreeMap<usize, u32>,
 }
 
 impl Senpai {
@@ -107,7 +107,7 @@ impl Senpai {
         Senpai {
             config,
             next_run,
-            failures: HashMap::new(),
+            failures: BTreeMap::new(),
         }
     }
 

@@ -9,7 +9,7 @@
 //! container whose `full` memory pressure stays above a threshold for a
 //! sustained period is selected for killing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use tmo_sim::SimDuration;
 
@@ -82,7 +82,7 @@ pub struct KillDecision {
 #[derive(Debug, Clone, Default)]
 pub struct OomdMonitor {
     config: OomdConfig,
-    sustained: HashMap<usize, SimDuration>,
+    sustained: BTreeMap<usize, SimDuration>,
     kills: Vec<KillDecision>,
 }
 
@@ -91,7 +91,7 @@ impl OomdMonitor {
     pub fn new(config: OomdConfig) -> Self {
         OomdMonitor {
             config,
-            sustained: HashMap::new(),
+            sustained: BTreeMap::new(),
             kills: Vec::new(),
         }
     }

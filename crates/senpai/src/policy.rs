@@ -7,7 +7,7 @@
 //! thresholds". A [`PolicyMap`] implements that: a global default plus
 //! named overrides, resolved per container.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::config::SenpaiConfig;
 
@@ -26,7 +26,7 @@ use crate::config::SenpaiConfig;
 #[derive(Debug, Clone, PartialEq)]
 pub struct PolicyMap {
     default: SenpaiConfig,
-    overrides: HashMap<String, SenpaiConfig>,
+    overrides: BTreeMap<String, SenpaiConfig>,
 }
 
 impl PolicyMap {
@@ -34,7 +34,7 @@ impl PolicyMap {
     pub fn new(default: SenpaiConfig) -> Self {
         PolicyMap {
             default,
-            overrides: HashMap::new(),
+            overrides: BTreeMap::new(),
         }
     }
 

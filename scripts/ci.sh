@@ -12,6 +12,21 @@ cargo build --release --workspace --offline
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
+echo "==> tmo-lint: determinism contract gate"
+# Static determinism analysis (DESIGN.md "Determinism contract"): no
+# hash-ordered iteration or ambient wall-clock/entropy in sim code, no
+# unordered float reduction, no unwrap in fault paths. Any unannotated
+# finding is a hard failure, exactly like clippy.
+./target/release/tmo-lint --root .
+
+echo "==> tmo-lint --allows vs golden"
+# The allow-annotation inventory is pinned: a new escape hatch must be
+# added to scripts/golden/lint_clean.txt in the same PR, so it shows up
+# in review instead of slipping in silently.
+./target/release/tmo-lint --root . --allows \
+    | diff -u scripts/golden/lint_clean.txt - \
+    || { echo "lint allow inventory drifted from scripts/golden/lint_clean.txt"; exit 1; }
+
 echo "==> chaos smoke: ext_chaos --quick --jobs 4 vs golden"
 # Fault schedules are pure hashes of (seed, host index, tick), so the
 # quick chaos sweep's stdout is byte-stable across runs and worker

@@ -9,6 +9,11 @@
 //! macros. It reports mean wall-clock time per iteration; there is no
 //! statistical analysis, HTML report, or regression detection.
 
+// A bench harness exists to read the wall clock; it is outside the
+// simulation determinism contract (tmo-lint skips shims/ entirely, and
+// the workspace clippy.toml disallowed-methods rule is waived here).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
