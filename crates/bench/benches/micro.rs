@@ -71,6 +71,25 @@ fn mm_paths(c: &mut Criterion) {
             black_box(mm.access(page, SimTime::from_secs(1)))
         })
     });
+    // The headline page-access benchmark: touch a 4096-page resident
+    // working set once per iteration. BENCH_micro_baseline.json pins the
+    // pre-batching numbers; scripts/bench.sh regenerates the current ones.
+    group.bench_function("access_4096_resident", |b| {
+        let mut mm = MemoryManager::new(MmConfig {
+            page_size: ByteSize::from_kib(4),
+            total_dram: ByteSize::from_mib(64),
+            ..MmConfig::default()
+        });
+        let cg = mm.create_cgroup("bench", None);
+        let alloc = mm
+            .alloc_pages(cg, PageKind::Anon, 4096, SimTime::ZERO)
+            .expect("fits");
+        let mut out = Vec::new();
+        b.iter(|| {
+            mm.access_batch_into(&alloc.pages, SimTime::from_secs(1), &mut out);
+            black_box(out.len())
+        })
+    });
     group.bench_function("reclaim_256_pages", |b| {
         b.iter_with_setup(
             || {

@@ -1,0 +1,49 @@
+//! Validates a `BENCH_*.json` report emitted by the criterion shim:
+//! `bench-check <micro|figures> <path>`. Exits non-zero with a message
+//! when the file is missing, malformed, or missing required benchmarks,
+//! so `scripts/bench.sh` (and CI's bench smoke stage) catch a silently
+//! broken harness.
+
+use tmo_bench::report::{BenchReport, REQUIRED_FIGURES, REQUIRED_MICRO};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (kind, path) = match args.as_slice() {
+        [kind, path] => (kind.as_str(), path.as_str()),
+        _ => {
+            eprintln!("usage: bench-check <micro|figures> <path-to-json>");
+            std::process::exit(2);
+        }
+    };
+    let required = match kind {
+        "micro" => REQUIRED_MICRO,
+        "figures" => REQUIRED_FIGURES,
+        other => {
+            eprintln!("bench-check: unknown report kind {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench-check: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match BenchReport::parse(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench-check: {path}: malformed report: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Err(e) = report.validate(required) {
+        eprintln!("bench-check: {path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "bench-check: {path} OK ({} benchmarks, mode={})",
+        report.results.len(),
+        report.mode
+    );
+}

@@ -1,0 +1,327 @@
+//! Parser and validator for the `tmo-bench-v1` JSON reports the
+//! criterion shim writes (`BENCH_micro.json` / `BENCH_figures.json`).
+//!
+//! The format is fixed-shape, so this is a cursor parser in the style
+//! of `tmo_workload::AccessTrace`'s trace parser rather than a general
+//! JSON reader: object keys must appear in the exact order the shim
+//! emits them, which doubles as the schema test's "deterministic key
+//! order" check.
+
+/// One benchmark's row in a report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Criterion group (`mm`, `psi`, `figures`, ...).
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median per-iteration time over the timed samples, nanoseconds.
+    pub median_ns: f64,
+    /// Mean per-iteration time over all timed iterations, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's mean per-iteration time, nanoseconds.
+    pub best_ns: f64,
+    /// Number of timed samples.
+    pub samples: u64,
+    /// Total timed iterations.
+    pub iters: u64,
+}
+
+/// A parsed `tmo-bench-v1` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// `"full"` or `"smoke"`.
+    pub mode: String,
+    /// Benchmarks in execution order.
+    pub results: Vec<BenchResult>,
+}
+
+/// Benchmarks `BENCH_micro.json` must always contain: the mm hot paths
+/// (page access single and batched, reclaim scan), the PSI update path,
+/// and the zswap store/load path, plus the supporting micro groups.
+pub const REQUIRED_MICRO: &[(&str, &str)] = &[
+    ("psi", "observe_8_tasks"),
+    ("psi", "interval_union_64"),
+    ("psi", "state_tracker_transition"),
+    ("stats", "p2_quantile_observe"),
+    ("workload", "trace_replay_1000_ticks"),
+    ("workload", "planner_plan"),
+    ("mm", "access_resident_page"),
+    ("mm", "access_4096_resident"),
+    ("mm", "reclaim_256_pages"),
+    ("backends", "ssd_read_latency_draw"),
+    ("backends", "zswap_store_load"),
+    ("rng", "zipf_sample_64k"),
+    ("rng", "poisson_mean_100"),
+    ("machine", "tick_one_container"),
+    ("fleet", "run_8_hosts_jobs_1"),
+    ("fleet", "run_8_hosts_jobs_4"),
+];
+
+/// Benchmarks `BENCH_figures.json` must always contain: one reduced-
+/// scale reproduction per paper figure.
+pub const REQUIRED_FIGURES: &[(&str, &str)] = &[
+    ("figures", "fig01_cost_model"),
+    ("figures", "fig02_coldness"),
+    ("figures", "fig03_tax"),
+    ("figures", "fig04_anon_file"),
+    ("figures", "fig05_ssd_catalog"),
+    ("figures", "fig06_architecture"),
+    ("figures", "fig07_psi_example"),
+    ("figures", "fig08_senpai_tracking"),
+    ("figures", "fig09_app_savings"),
+    ("figures", "fig10_tax_savings"),
+    ("figures", "fig11_web_memory_bound"),
+    ("figures", "fig12_psi_vs_promotion"),
+    ("figures", "fig13_config_tuning"),
+    ("figures", "fig14_write_regulation"),
+];
+
+impl BenchReport {
+    /// Parses a `tmo-bench-v1` document, enforcing the shim's exact key
+    /// order.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let mut c = Cursor { s: text, pos: 0 };
+        c.expect("{")?;
+        c.expect_key("schema")?;
+        let schema = c.string()?;
+        if schema != "tmo-bench-v1" {
+            return Err(format!("unsupported schema {schema:?}"));
+        }
+        c.expect(",")?;
+        c.expect_key("mode")?;
+        let mode = c.string()?;
+        if mode != "full" && mode != "smoke" {
+            return Err(format!("unknown mode {mode:?}"));
+        }
+        c.expect(",")?;
+        c.expect_key("results")?;
+        c.expect("[")?;
+        let mut results = Vec::new();
+        loop {
+            c.skip_ws();
+            if c.peek() == Some(']') {
+                c.pos += 1;
+                break;
+            }
+            c.expect("{")?;
+            c.expect_key("group")?;
+            let group = c.string()?;
+            c.expect(",")?;
+            c.expect_key("name")?;
+            let name = c.string()?;
+            c.expect(",")?;
+            c.expect_key("median_ns")?;
+            let median_ns = c.number()?;
+            c.expect(",")?;
+            c.expect_key("mean_ns")?;
+            let mean_ns = c.number()?;
+            c.expect(",")?;
+            c.expect_key("best_ns")?;
+            let best_ns = c.number()?;
+            c.expect(",")?;
+            c.expect_key("samples")?;
+            let samples = c.number()? as u64;
+            c.expect(",")?;
+            c.expect_key("iters")?;
+            let iters = c.number()? as u64;
+            c.expect("}")?;
+            results.push(BenchResult {
+                group,
+                name,
+                median_ns,
+                mean_ns,
+                best_ns,
+                samples,
+                iters,
+            });
+            c.skip_ws();
+            if c.peek() == Some(',') {
+                c.pos += 1;
+            }
+        }
+        c.expect("}")?;
+        c.skip_ws();
+        if c.pos != c.s.len() {
+            return Err(format!("trailing data at byte {}", c.pos));
+        }
+        Ok(BenchReport { mode, results })
+    }
+
+    /// Looks up one benchmark by group and name.
+    pub fn find(&self, group: &str, name: &str) -> Option<&BenchResult> {
+        self.results
+            .iter()
+            .find(|r| r.group == group && r.name == name)
+    }
+
+    /// Checks that every `required` benchmark is present with sane
+    /// (positive, finite) timings and non-zero sample/iteration counts.
+    pub fn validate(&self, required: &[(&str, &str)]) -> Result<(), String> {
+        for &(group, name) in required {
+            let r = self
+                .find(group, name)
+                .ok_or_else(|| format!("missing benchmark {group}/{name}"))?;
+            for (field, v) in [
+                ("median_ns", r.median_ns),
+                ("mean_ns", r.mean_ns),
+                ("best_ns", r.best_ns),
+            ] {
+                if !v.is_finite() || v <= 0.0 {
+                    return Err(format!("{group}/{name}: {field} = {v} is not positive"));
+                }
+            }
+            if r.samples == 0 || r.iters == 0 {
+                return Err(format!(
+                    "{group}/{name}: samples={} iters={} must be non-zero",
+                    r.samples, r.iters
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn skip_ws(&mut self) {
+        let rest = &self.s[self.pos..];
+        let trimmed = rest.trim_start();
+        self.pos += rest.len() - trimmed.len();
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.s[self.pos..].chars().next()
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), String> {
+        self.skip_ws();
+        if self.s[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {lit:?} at byte {}, found {:?}",
+                self.pos,
+                &self.s[self.pos..self.s.len().min(self.pos + 24)]
+            ))
+        }
+    }
+
+    fn expect_key(&mut self, key: &str) -> Result<(), String> {
+        self.expect(&format!("\"{key}\""))?;
+        self.expect(":")
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        let mut chars = self.s[self.pos..].char_indices();
+        while let Some((i, ch)) = chars.next() {
+            match ch {
+                '"' => {
+                    self.pos += i + 1;
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, h) = chars
+                                .next()
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            code = code * 16
+                                + h.to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit {h:?}"))?;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad \\u{code:04x} escape"))?,
+                        );
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let rest = &self.s[self.pos..];
+        let len = rest
+            .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+            .unwrap_or(rest.len());
+        if len == 0 {
+            return Err(format!("expected number at byte {}", self.pos));
+        }
+        let v: f64 = rest[..len]
+            .parse()
+            .map_err(|e| format!("bad number {:?}: {e}", &rest[..len]))?;
+        self.pos += len;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "schema": "tmo-bench-v1",
+  "mode": "full",
+  "results": [
+    {"group": "mm", "name": "access_4096_resident", "median_ns": 12345.500, "mean_ns": 12400.100, "best_ns": 12000.000, "samples": 10, "iters": 4000},
+    {"group": "psi", "name": "observe_8_tasks", "median_ns": 900.000, "mean_ns": 910.000, "best_ns": 880.000, "samples": 10, "iters": 100000}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_sample_report() {
+        let report = BenchReport::parse(SAMPLE).expect("parses");
+        assert_eq!(report.mode, "full");
+        assert_eq!(report.results.len(), 2);
+        let mm = report.find("mm", "access_4096_resident").expect("present");
+        assert_eq!(mm.median_ns, 12345.5);
+        assert_eq!(mm.iters, 4000);
+    }
+
+    #[test]
+    fn validate_flags_missing_and_nonpositive() {
+        let report = BenchReport::parse(SAMPLE).expect("parses");
+        report
+            .validate(&[("mm", "access_4096_resident")])
+            .expect("present is ok");
+        let err = report.validate(&[("mm", "nope")]).unwrap_err();
+        assert!(err.contains("missing benchmark mm/nope"), "{err}");
+
+        let zeroed = SAMPLE.replace("\"median_ns\": 900.000", "\"median_ns\": 0.000");
+        let err = BenchReport::parse(&zeroed)
+            .expect("parses")
+            .validate(&[("psi", "observe_8_tasks")])
+            .unwrap_err();
+        assert!(err.contains("median_ns"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_order_keys() {
+        let swapped = SAMPLE.replace(
+            "\"group\": \"mm\", \"name\": \"access_4096_resident\"",
+            "\"name\": \"access_4096_resident\", \"group\": \"mm\"",
+        );
+        assert!(BenchReport::parse(&swapped).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_schema_and_mode() {
+        assert!(BenchReport::parse(&SAMPLE.replace("tmo-bench-v1", "v0")).is_err());
+        assert!(BenchReport::parse(&SAMPLE.replace("\"full\"", "\"warp\"")).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Schema and sanity checks for the committed benchmark reports
+//! (`BENCH_micro.json`, `BENCH_figures.json`): they must parse under
+//! the strict key-order parser, contain every required benchmark, and
+//! carry finite positive timings. Regenerate with `scripts/bench.sh`.
+
+use std::path::PathBuf;
+
+use tmo_bench::report::{BenchReport, REQUIRED_FIGURES, REQUIRED_MICRO};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn load(name: &str) -> BenchReport {
+    let path = repo_root().join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with scripts/bench.sh",
+            path.display()
+        )
+    });
+    BenchReport::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn committed_micro_report_is_valid() {
+    let report = load("BENCH_micro.json");
+    report
+        .validate(REQUIRED_MICRO)
+        .unwrap_or_else(|e| panic!("BENCH_micro.json: {e}"));
+}
+
+#[test]
+fn committed_figures_report_is_valid() {
+    let report = load("BENCH_figures.json");
+    report
+        .validate(REQUIRED_FIGURES)
+        .unwrap_or_else(|e| panic!("BENCH_figures.json: {e}"));
+}
+
+#[test]
+fn committed_baseline_pins_prebatching_access_numbers() {
+    // The baseline is the pre-refactor recording the ≥2x acceptance
+    // gate is measured against; it must stay parseable and keep the
+    // headline benchmark.
+    let report = load("BENCH_micro_baseline.json");
+    let base = report
+        .find("mm", "access_4096_resident")
+        .expect("baseline lacks mm/access_4096_resident");
+    assert!(base.median_ns > 0.0);
+}
+
+#[test]
+fn current_access_median_beats_baseline_2x() {
+    // The acceptance gate of the hot-path refactor, checked against
+    // the committed full-mode reports (not re-measured here: test
+    // machines are noisy; bench.sh regenerates the current report).
+    let baseline = load("BENCH_micro_baseline.json");
+    let current = load("BENCH_micro.json");
+    if current.mode != "full" || baseline.mode != "full" {
+        // Smoke-mode artifacts (CI) have meaningless timings.
+        return;
+    }
+    let base = baseline
+        .find("mm", "access_4096_resident")
+        .expect("baseline lacks mm/access_4096_resident")
+        .median_ns;
+    let cur = current
+        .find("mm", "access_4096_resident")
+        .expect("current lacks mm/access_4096_resident")
+        .median_ns;
+    assert!(
+        cur * 2.0 <= base,
+        "page-access median {cur}ns is not ≥2x better than baseline {base}ns"
+    );
+}
+
+#[test]
+fn key_order_is_enforced() {
+    // The parser is strict about key order, which is what makes the
+    // committed reports byte-stable across regenerations (modulo the
+    // timings themselves).
+    let swapped = r#"{"schema": "tmo-bench-v1", "mode": "full", "results": [
+        {"name": "x", "group": "g", "median_ns": 1.0, "mean_ns": 1.0, "best_ns": 1.0, "samples": 1, "iters": 1}
+    ]}"#;
+    assert!(BenchReport::parse(swapped).is_err());
+}

@@ -1,0 +1,83 @@
+//! Golden-trace regression test for the mm engine: drives the standard
+//! bench machine for a fixed tick count and compares the full mm stats
+//! snapshot stream against `scripts/golden/mm_trace.txt`.
+//!
+//! The hot-path refactors in `tmo-mm` (batched access, dense page
+//! metadata, generation-stamped LRU invalidation) must be behavior-
+//! invisible; this test fails with a readable line diff the moment one
+//! of them changes an observable counter. Regenerate deliberately with
+//! `TMO_UPDATE_GOLDEN=1 cargo test -p tmo-bench --test mm_trace`.
+
+use std::path::PathBuf;
+
+const SEED: u64 = 5;
+const TICKS: u64 = 240;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scripts/golden/mm_trace.txt")
+}
+
+/// Renders the first differing lines of `expected` vs `actual` in a
+/// compact `-`/`+` form, with one line of context on each side.
+fn render_diff(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    let mut shown = 0;
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e == a {
+            continue;
+        }
+        if shown == 0 {
+            if let Some(prev) = i.checked_sub(1).and_then(|p| exp.get(p)) {
+                out.push_str(&format!("  {prev}\n"));
+            }
+        }
+        if let Some(e) = e {
+            out.push_str(&format!("- {e}\n"));
+        }
+        if let Some(a) = a {
+            out.push_str(&format!("+ {a}\n"));
+        }
+        shown += 1;
+        if shown >= 12 {
+            out.push_str("  ... (further differences elided)\n");
+            break;
+        }
+    }
+    out
+}
+
+#[test]
+fn mm_trace_matches_golden() {
+    let actual = tmo_bench::mm_trace(SEED, TICKS);
+    let path = golden_path();
+    if std::env::var_os("TMO_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden");
+        eprintln!("updated {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with TMO_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    if expected != actual {
+        panic!(
+            "mm trace drifted from {} — the mm refactor changed observable behavior.\n\
+             If the change is intentional, regenerate with TMO_UPDATE_GOLDEN=1.\n{}",
+            path.display(),
+            render_diff(&expected, &actual)
+        );
+    }
+}
+
+#[test]
+fn mm_trace_is_reproducible() {
+    // Two fresh machines with the same seed must produce the identical
+    // trace; this guards the trace helper itself against hidden state.
+    assert_eq!(tmo_bench::mm_trace(SEED, 60), tmo_bench::mm_trace(SEED, 60));
+}

@@ -147,6 +147,11 @@ pub struct Machine {
     host_faults: Option<HostFaults>,
     /// Last fresh Senpai signal per container, replayed on stale reads.
     signal_cache: Vec<Option<ContainerSignal>>,
+    /// Reusable scratch for the batched access path (page ids drawn for
+    /// one temperature class), to avoid per-tick allocation.
+    batch_ids: Vec<tmo_mm::PageId>,
+    /// Reusable scratch for the batched access outcomes.
+    batch_out: Vec<tmo_mm::AccessOutcome>,
 }
 
 impl Machine {
@@ -242,6 +247,8 @@ impl Machine {
             swap_lat_mean: tmo_sim::Welford::new(),
             host_faults,
             signal_cache: Vec::new(),
+            batch_ids: Vec::new(),
+            batch_out: Vec::new(),
         }
     }
 
@@ -610,14 +617,24 @@ impl Machine {
         };
         for (class, &count) in plan.iter().enumerate() {
             let count = (count as f64 * scale).round() as u64;
-            let len = self.containers[ci].class_pages[class].len() as u64;
-            if len == 0 {
+            if self.containers[ci].class_pages[class].is_empty() {
                 continue;
             }
-            for _ in 0..count {
-                let idx = self.rng.below(len) as usize;
-                let page = self.containers[ci].class_pages[class][idx];
-                let outcome = self.mm.access(page, now);
+            // Draw every page id for the class up front — the index
+            // draws consume `self.rng` in the same order as a
+            // one-at-a-time loop — then fault the whole batch through
+            // the mm's batched entry point, which short-circuits
+            // resident pages without a per-page cross-crate call.
+            let mut ids = std::mem::take(&mut self.batch_ids);
+            let mut outcomes = std::mem::take(&mut self.batch_out);
+            AccessPlanner::sample_batch_into(
+                &self.containers[ci].class_pages[class],
+                count,
+                &mut self.rng,
+                &mut ids,
+            );
+            self.mm.access_batch_into(&ids, now, &mut outcomes);
+            for &outcome in &outcomes {
                 stats.accesses += 1;
                 if outcome.is_fault() {
                     stats.faults += 1;
@@ -641,6 +658,8 @@ impl Machine {
                 stats.mem_stall += outcome.memory_stall();
                 stats.io_stall += outcome.io_stall();
             }
+            self.batch_ids = ids;
+            self.batch_out = outcomes;
         }
         stats.cpu_demand = self.config.access_cpu * stats.accesses;
 

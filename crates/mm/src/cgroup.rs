@@ -142,6 +142,12 @@ impl Cgroup {
         self.priority
     }
 
+    /// Read access to the cgroup's LRU lists (for stats snapshots and
+    /// invariant tests; mutation stays inside the crate).
+    pub fn lrus(&self) -> &Lrus {
+        &self.lrus
+    }
+
     /// Mean anonymous-memory compression ratio.
     pub fn compress_ratio(&self) -> f64 {
         self.compress_ratio

@@ -49,7 +49,7 @@ pub mod workingset;
 
 pub use cgroup::{CgroupId, ReclaimPriority};
 pub use manager::{MemoryManager, MmConfig};
-pub use page::{PageId, PageKind};
+pub use page::{LruTier, PageId, PageKind};
 pub use reclaim::ReclaimPolicy;
 pub use stats::{AccessOutcome, CgroupStat, FaultKind, GlobalStat, ReclaimOutcome};
 pub use workingset::RateCounter;

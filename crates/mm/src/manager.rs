@@ -10,7 +10,9 @@ use tmo_backends::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBacken
 use tmo_sim::{ByteSize, DetRng, PageCount, SimDuration, SimTime};
 
 use crate::cgroup::{Cgroup, CgroupId, ReclaimPriority};
-use crate::page::{LruTier, Page, PageId, PageKind, PageState};
+use crate::page::{
+    LruTier, Page, PageId, PageKind, PageMeta, PageState, FLAG_INACTIVE, FLAG_REFERENCED,
+};
 use crate::reclaim::{BalanceInputs, ReclaimPolicy};
 use crate::stats::{AccessOutcome, CgroupStat, FaultKind, GlobalStat, ReclaimOutcome};
 
@@ -95,7 +97,10 @@ pub struct AllocOutcome {
 pub struct MemoryManager {
     page_size: ByteSize,
     total_pages: u64,
-    pages: Vec<Page>,
+    /// Dense page-metadata slab indexed by `PageId` slot; freed slots
+    /// are recycled through `free_slots`. O(1) state lookup on the
+    /// access path, no map traversal.
+    pages: Vec<PageMeta>,
     free_slots: Vec<u64>,
     cgroups: Vec<Cgroup>,
     swap: Option<Box<dyn OffloadBackend>>,
@@ -303,13 +308,14 @@ impl MemoryManager {
         self.swap.as_deref()
     }
 
-    /// A page's current descriptor.
+    /// A page's current descriptor, decoded by value from the packed
+    /// metadata slab.
     ///
     /// # Panics
     ///
     /// Panics on an id not produced by this manager.
-    pub fn page(&self, id: PageId) -> &Page {
-        &self.pages[id.0 as usize]
+    pub fn page(&self, id: PageId) -> Page {
+        self.pages[id.0 as usize].view()
     }
 
     // ------------------------------------------------------------------
@@ -344,12 +350,13 @@ impl MemoryManager {
                     return Err(e);
                 }
             }
-            let id = self.insert_page(Page::new(kind, cg, now));
+            let id = self.insert_page(kind, cg, now);
+            let gen = self.pages[id.0 as usize].gen;
             self.note_resident(cg, kind, 1);
             self.cgroups[cg.0]
                 .lrus
                 .list_mut(kind, LruTier::Inactive)
-                .push(id);
+                .push(id, gen);
             pages.push(id);
         }
         Ok(AllocOutcome {
@@ -358,14 +365,19 @@ impl MemoryManager {
         })
     }
 
-    fn insert_page(&mut self, page: Page) -> PageId {
+    fn insert_page(&mut self, kind: PageKind, owner: CgroupId, now: SimTime) -> PageId {
         match self.free_slots.pop() {
             Some(slot) => {
-                self.pages[slot as usize] = page;
+                // Preserve the slot's generation across reuse: the free
+                // already bumped it past every stale LRU entry of the
+                // previous tenant, so none can validate against the new
+                // page.
+                let gen = self.pages[slot as usize].gen;
+                self.pages[slot as usize] = PageMeta::new(kind, owner, now, gen);
                 PageId(slot)
             }
             None => {
-                self.pages.push(page);
+                self.pages.push(PageMeta::new(kind, owner, now, 0));
                 PageId(self.pages.len() as u64 - 1)
             }
         }
@@ -375,8 +387,8 @@ impl MemoryManager {
     /// discarded from the backend; shadow entries are dropped.
     pub fn free_pages_of(&mut self, ids: &[PageId]) {
         for &id in ids {
-            let page = &self.pages[id.0 as usize];
-            let (kind, owner, state) = (page.kind, page.owner, page.state);
+            let meta = &self.pages[id.0 as usize];
+            let (kind, owner, state) = (meta.kind(), meta.owner(), meta.state());
             match state {
                 PageState::Resident { tier } => {
                     self.cgroups[owner.0].lrus.list_mut(kind, tier).forget_one();
@@ -393,7 +405,11 @@ impl MemoryManager {
                 }
                 PageState::Freed => continue,
             }
-            self.pages[id.0 as usize].state = PageState::Freed;
+            let meta = &mut self.pages[id.0 as usize];
+            meta.set_freed();
+            // Invalidate any LRU entry left behind so it can never
+            // validate against this slot's next tenant.
+            meta.gen = meta.gen.wrapping_add(1);
             self.free_slots.push(id.0);
         }
     }
@@ -524,33 +540,70 @@ impl MemoryManager {
     ///
     /// Panics if the page was freed.
     pub fn access(&mut self, id: PageId, now: SimTime) -> AccessOutcome {
-        let page = &self.pages[id.0 as usize];
-        let (kind, owner, state, referenced) = (page.kind, page.owner, page.state, page.referenced);
-        match state {
-            PageState::Resident { tier } => {
-                let page = &mut self.pages[id.0 as usize];
-                page.last_access = now;
-                match tier {
-                    LruTier::Inactive if referenced => {
-                        // Second access: activate.
-                        page.referenced = false;
-                        page.state = PageState::Resident {
-                            tier: LruTier::Active,
-                        };
-                        let lrus = &mut self.cgroups[owner.0].lrus;
-                        lrus.list_mut(kind, LruTier::Inactive).forget_one();
-                        lrus.list_mut(kind, LruTier::Active).push(id);
-                    }
-                    _ => {
-                        page.referenced = true;
-                    }
-                }
-                AccessOutcome::Hit
+        let meta = &mut self.pages[id.0 as usize];
+        if meta.is_resident() {
+            meta.last_access = now;
+            if meta.flags & (FLAG_INACTIVE | FLAG_REFERENCED) == (FLAG_INACTIVE | FLAG_REFERENCED) {
+                // Second access while inactive: activate. The gen bump
+                // invalidates the page's inactive-list entry in O(1).
+                meta.set_referenced(false);
+                meta.set_resident(LruTier::Active);
+                meta.gen = meta.gen.wrapping_add(1);
+                let (kind, owner, gen) = (meta.kind(), meta.owner(), meta.gen);
+                let lrus = &mut self.cgroups[owner.0].lrus;
+                lrus.list_mut(kind, LruTier::Inactive).forget_one();
+                lrus.list_mut(kind, LruTier::Active).push(id, gen);
+            } else {
+                meta.set_referenced(true);
             }
+            return AccessOutcome::Hit;
+        }
+        let owner = meta.owner();
+        match meta.state() {
             PageState::Offloaded { token } => self.swap_in(id, owner, token, now),
             PageState::EvictedFile { shadow } => self.file_fault(id, owner, shadow, now),
             PageState::Freed => panic!("access to freed {id}"),
+            PageState::Resident { .. } => unreachable!("handled above"),
         }
+    }
+
+    /// Batched [`MemoryManager::access`]: touches `ids` in order at
+    /// `now`, appending one outcome per page to `out` (cleared first).
+    /// Behavior and RNG-draw order are identical to calling `access` in
+    /// a loop; the win is that the overwhelmingly common case — a
+    /// resident page that stays on its list — is handled inline against
+    /// the packed metadata slab, without a cross-crate call per page.
+    pub fn access_batch_into(
+        &mut self,
+        ids: &[PageId],
+        now: SimTime,
+        out: &mut Vec<AccessOutcome>,
+    ) {
+        out.clear();
+        out.reserve(ids.len());
+        for &id in ids {
+            let meta = &mut self.pages[id.0 as usize];
+            let fast = meta.is_resident()
+                && meta.flags & (FLAG_INACTIVE | FLAG_REFERENCED)
+                    != (FLAG_INACTIVE | FLAG_REFERENCED);
+            if fast {
+                // Resident, no LRU move needed: mark referenced, stamp
+                // the access time, done.
+                meta.last_access = now;
+                meta.flags |= FLAG_REFERENCED;
+                out.push(AccessOutcome::Hit);
+            } else {
+                out.push(self.access(id, now));
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`MemoryManager::access_batch_into`].
+    pub fn access_batch(&mut self, ids: &[PageId], now: SimTime) -> Vec<AccessOutcome> {
+        let mut out = Vec::new();
+        self.access_batch_into(ids, now, &mut out);
+        out
     }
 
     fn swap_in(&mut self, id: PageId, owner: CgroupId, token: u64, now: SimTime) -> AccessOutcome {
@@ -572,17 +625,18 @@ impl MemoryManager {
         }
         self.cgroups[owner.0].anon_offloaded -= PageCount::new(1);
         let reclaim_stall = self.ensure_free(1).unwrap_or(SimDuration::ZERO);
-        let page = &mut self.pages[id.0 as usize];
-        page.state = PageState::Resident {
-            tier: LruTier::Inactive,
-        };
-        page.referenced = true;
-        page.last_access = now;
+        let meta = &mut self.pages[id.0 as usize];
+        meta.set_resident(LruTier::Inactive);
+        meta.set_referenced(true);
+        meta.last_access = now;
+        // No gen bump: the page left its list physically at swap-out, so
+        // no entry with the current stamp exists anywhere.
+        let gen = meta.gen;
         self.note_resident(owner, PageKind::Anon, 1);
         self.cgroups[owner.0]
             .lrus
             .list_mut(PageKind::Anon, LruTier::Inactive)
-            .push(id);
+            .push(id, gen);
         self.cgroups[owner.0].swapin_rate.add(1);
         AccessOutcome::Fault {
             kind: FaultKind::SwapIn,
@@ -610,15 +664,16 @@ impl MemoryManager {
         } else {
             LruTier::Inactive
         };
-        let page = &mut self.pages[id.0 as usize];
-        page.state = PageState::Resident { tier };
-        page.referenced = false;
-        page.last_access = now;
+        let meta = &mut self.pages[id.0 as usize];
+        meta.set_resident(tier);
+        meta.set_referenced(false);
+        meta.last_access = now;
+        let gen = meta.gen;
         self.note_resident(owner, PageKind::File, 1);
         self.cgroups[owner.0]
             .lrus
             .list_mut(PageKind::File, tier)
-            .push(id);
+            .push(id, gen);
         if is_refault {
             self.cgroups[owner.0].refault_rate.add(1);
             AccessOutcome::Fault {
@@ -749,15 +804,7 @@ impl MemoryManager {
                 self.cgroups[cg.0]
                     .lrus
                     .list_mut(kind, LruTier::Inactive)
-                    .pop_valid(|id| {
-                        let p = &pages[id.0 as usize];
-                        p.owner == cg
-                            && p.kind == kind
-                            && p.state
-                                == PageState::Resident {
-                                    tier: LruTier::Inactive,
-                                }
-                    })
+                    .pop_valid(|id| pages[id.0 as usize].gen)
             };
             let Some(id) = candidate else {
                 // Inactive exhausted; force a demotion or give up.
@@ -766,23 +813,31 @@ impl MemoryManager {
                 }
                 continue;
             };
-            if self.pages[id.0 as usize].referenced {
+            debug_assert_eq!(
+                self.pages[id.0 as usize].state(),
+                PageState::Resident {
+                    tier: LruTier::Inactive
+                },
+                "stamp-fresh inactive entry out of sync with page state"
+            );
+            debug_assert_eq!(self.pages[id.0 as usize].owner(), cg);
+            debug_assert_eq!(self.pages[id.0 as usize].kind(), kind);
+            if self.pages[id.0 as usize].referenced() {
                 // Second chance: activate and clear the bit.
-                let page = &mut self.pages[id.0 as usize];
-                page.referenced = false;
-                page.state = PageState::Resident {
-                    tier: LruTier::Active,
-                };
+                let meta = &mut self.pages[id.0 as usize];
+                meta.set_referenced(false);
+                meta.set_resident(LruTier::Active);
+                let gen = meta.gen;
                 self.cgroups[cg.0]
                     .lrus
                     .list_mut(kind, LruTier::Active)
-                    .push(id);
+                    .push(id, gen);
                 continue;
             }
             match kind {
                 PageKind::File => {
                     let shadow = self.cgroups[cg.0].evictions.record_eviction();
-                    self.pages[id.0 as usize].state = PageState::EvictedFile { shadow };
+                    self.pages[id.0 as usize].set_evicted(shadow);
                     self.cgroups[cg.0].file_evicted += PageCount::new(1);
                     self.note_unresident(cg, PageKind::File, 1);
                     outcome.reclaimed_file += PageCount::new(1);
@@ -795,8 +850,7 @@ impl MemoryManager {
                     };
                     match stored {
                         Some(out) => {
-                            self.pages[id.0 as usize].state =
-                                PageState::Offloaded { token: out.token };
+                            self.pages[id.0 as usize].set_offloaded(out.token);
                             self.cgroups[cg.0].anon_offloaded += PageCount::new(1);
                             self.cgroups[cg.0].swapout_rate.add(1);
                             self.note_unresident(cg, PageKind::Anon, 1);
@@ -805,14 +859,13 @@ impl MemoryManager {
                         None => {
                             // Swap full: rotate back and stop anon scan.
                             outcome.swap_full = true;
-                            let page = &mut self.pages[id.0 as usize];
-                            page.state = PageState::Resident {
-                                tier: LruTier::Active,
-                            };
+                            let meta = &mut self.pages[id.0 as usize];
+                            meta.set_resident(LruTier::Active);
+                            let gen = meta.gen;
                             self.cgroups[cg.0]
                                 .lrus
                                 .list_mut(kind, LruTier::Active)
-                                .push(id);
+                                .push(id, gen);
                             break;
                         }
                     }
@@ -831,27 +884,27 @@ impl MemoryManager {
             self.cgroups[cg.0]
                 .lrus
                 .list_mut(kind, LruTier::Active)
-                .pop_valid(|id| {
-                    let p = &pages[id.0 as usize];
-                    p.owner == cg
-                        && p.kind == kind
-                        && p.state
-                            == PageState::Resident {
-                                tier: LruTier::Active,
-                            }
-                })
+                .pop_valid(|id| pages[id.0 as usize].gen)
         };
         match candidate {
             Some(id) => {
-                let page = &mut self.pages[id.0 as usize];
-                page.referenced = false;
-                page.state = PageState::Resident {
-                    tier: LruTier::Inactive,
-                };
+                debug_assert_eq!(
+                    self.pages[id.0 as usize].state(),
+                    PageState::Resident {
+                        tier: LruTier::Active
+                    },
+                    "stamp-fresh active entry out of sync with page state"
+                );
+                debug_assert_eq!(self.pages[id.0 as usize].owner(), cg);
+                debug_assert_eq!(self.pages[id.0 as usize].kind(), kind);
+                let meta = &mut self.pages[id.0 as usize];
+                meta.set_referenced(false);
+                meta.set_resident(LruTier::Inactive);
+                let gen = meta.gen;
                 self.cgroups[cg.0]
                     .lrus
                     .list_mut(kind, LruTier::Inactive)
-                    .push(id);
+                    .push(id, gen);
                 true
             }
             None => false,
@@ -879,16 +932,10 @@ impl MemoryManager {
             for kind in PageKind::ALL {
                 for tier in [LruTier::Active, LruTier::Inactive] {
                     let pages = &self.pages;
-                    let cg = CgroupId(ci);
                     self.cgroups[ci]
                         .lrus
                         .list_mut(kind, tier)
-                        .maybe_compact(|id| {
-                            let p = &pages[id.0 as usize];
-                            p.owner == cg
-                                && p.kind == kind
-                                && p.state == PageState::Resident { tier }
-                        });
+                        .maybe_compact(|id| pages[id.0 as usize].gen);
                 }
             }
         }
@@ -913,12 +960,12 @@ impl MemoryManager {
         );
         let mut counts = vec![0u64; thresholds.len()];
         let mut total = 0u64;
-        for page in &self.pages {
-            if page.owner != cg || matches!(page.state, PageState::Freed) {
+        for meta in &self.pages {
+            if meta.owner() != cg || meta.is_freed() {
                 continue;
             }
             total += 1;
-            let age = now.saturating_since(page.last_access);
+            let age = now.saturating_since(meta.last_access);
             for (i, &t) in thresholds.iter().enumerate() {
                 if age <= t {
                     counts[i] += 1;

@@ -119,6 +119,24 @@ impl AccessPlanner {
             .collect()
     }
 
+    /// Uniformly samples `count` elements of `items` (with replacement)
+    /// into `out`, clearing it first. Draws exactly one `rng.below` per
+    /// sample, in plan order, so handing the batch to
+    /// `MemoryManager::access_batch_into` consumes the RNG stream
+    /// identically to a one-at-a-time access loop.
+    pub fn sample_batch_into<T: Copy>(items: &[T], count: u64, rng: &mut DetRng, out: &mut Vec<T>) {
+        out.clear();
+        if items.is_empty() {
+            return;
+        }
+        out.reserve(count as usize);
+        let len = items.len() as u64;
+        for _ in 0..count {
+            let idx = rng.below(len) as usize;
+            out.push(items[idx]);
+        }
+    }
+
     /// Expected aggregate access rate (touches/second).
     pub fn expected_rate(&self) -> f64 {
         self.classes

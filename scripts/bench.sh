@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the micro and figures benchmark suites and emits machine-readable
+# tmo-bench-v1 reports (see DESIGN.md "Benchmark baseline").
+#
+#   scripts/bench.sh           full run; writes BENCH_micro.json and
+#                              BENCH_figures.json at the repo root
+#   scripts/bench.sh --smoke   clamped run for CI; writes the same files
+#                              under target/bench-smoke/ and never
+#                              touches the checked-in baselines
+#
+# Both modes validate the emitted reports with bench-check, so a bench
+# that silently stops running fails the script rather than producing a
+# hollow report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=full
+OUTDIR=.
+if [[ "${1:-}" == "--smoke" ]]; then
+    MODE=smoke
+    OUTDIR=target/bench-smoke
+    export TMO_BENCH_SMOKE=1
+elif [[ $# -gt 0 ]]; then
+    echo "usage: scripts/bench.sh [--smoke]" >&2
+    exit 2
+fi
+mkdir -p "$OUTDIR"
+# Cargo runs bench binaries from the crate's manifest directory, so the
+# report path handed to the shim must be absolute.
+OUTDIR="$(cd "$OUTDIR" && pwd)"
+
+echo "==> cargo bench --bench micro ($MODE)"
+TMO_BENCH_JSON="$OUTDIR/BENCH_micro.json" \
+    cargo bench --offline -q -p tmo-bench --bench micro
+
+echo "==> cargo bench --bench figures ($MODE)"
+TMO_BENCH_JSON="$OUTDIR/BENCH_figures.json" \
+    cargo bench --offline -q -p tmo-bench --bench figures
+
+echo "==> bench-check"
+cargo build --release --offline -q -p tmo-bench --bin bench-check
+./target/release/bench-check micro "$OUTDIR/BENCH_micro.json"
+./target/release/bench-check figures "$OUTDIR/BENCH_figures.json"
+
+echo "==> bench.sh: reports written to $OUTDIR (mode=$MODE)"

@@ -36,6 +36,13 @@ echo "==> chaos smoke: ext_chaos --quick --jobs 4 vs golden"
     | diff -u scripts/golden/ext_chaos_quick.txt - \
     || { echo "ext_chaos output drifted from scripts/golden/ext_chaos_quick.txt"; exit 1; }
 
+echo "==> bench smoke: scripts/bench.sh --smoke"
+# Compiles and exercises every benchmark with clamped sample counts and
+# validates the emitted BENCH_*.json against the required-benchmark
+# schema. Timings in smoke mode are meaningless; this gate is about the
+# harness, the JSON shape, and keeping the benches compiling.
+./scripts/bench.sh --smoke
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -- -D warnings"
     cargo clippy --workspace --all-targets --offline -- -D warnings

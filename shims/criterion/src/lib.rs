@@ -8,15 +8,54 @@
 //! `iter_with_setup`, and the `criterion_group!`/`criterion_main!`
 //! macros. It reports mean wall-clock time per iteration; there is no
 //! statistical analysis, HTML report, or regression detection.
+//!
+//! Two environment variables extend the real criterion's behavior for
+//! this workspace's `scripts/bench.sh`:
+//!
+//! * `TMO_BENCH_JSON=<path>` — after all groups run, write a
+//!   machine-readable summary of every benchmark (median/mean/best
+//!   nanoseconds per iteration) to `<path>`. Keys are emitted in a
+//!   fixed order so the file diffs cleanly.
+//! * `TMO_BENCH_SMOKE=1` — clamp sample counts and time budgets to a
+//!   few milliseconds per benchmark, regardless of per-group settings.
+//!   CI uses this to prove the harness runs end to end without paying
+//!   for statistically meaningful timings.
 
 // A bench harness exists to read the wall clock; it is outside the
 // simulation determinism contract (tmo-lint skips shims/ entirely, and
 // the workspace clippy.toml disallowed-methods rule is waived here).
 #![allow(clippy::disallowed_methods)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One benchmark's timing summary, kept for the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Group name, empty for top-level `bench_function` calls.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median of the per-sample mean iteration times, in nanoseconds.
+    pub median_ns: f64,
+    /// Mean iteration time over all timed samples, in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest per-sample mean iteration time, in nanoseconds.
+    pub best_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Total timed iterations across all samples.
+    pub iters: u64,
+}
+
+/// Every benchmark run by this process, in execution order.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn smoke_mode() -> bool {
+    std::env::var_os("TMO_BENCH_SMOKE").is_some_and(|v| v != "0" && !v.is_empty())
+}
 
 /// Top-level benchmark driver.
 #[derive(Debug)]
@@ -55,13 +94,16 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let report = run_bench(
+        let name = name.into();
+        let record = run_bench(
             f,
+            "",
+            &name,
             self.sample_size,
             self.warm_up_time,
             self.measurement_time,
         );
-        eprintln!("{:<44} {report}", name.into());
+        eprintln!("{:<44} {}", name, record_line(&record));
         self
     }
 }
@@ -99,14 +141,17 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let report = run_bench(
+        let name = name.into();
+        let record = run_bench(
             f,
+            &self.name,
+            &name,
             self.sample_size.unwrap_or(self.criterion.sample_size),
             self.warm_up_time.unwrap_or(self.criterion.warm_up_time),
             self.measurement_time
                 .unwrap_or(self.criterion.measurement_time),
         );
-        eprintln!("  {}/{:<40} {report}", self.name, name.into());
+        eprintln!("  {}/{:<40} {}", self.name, name, record_line(&record));
         self
     }
 
@@ -147,15 +192,36 @@ impl Bencher {
     }
 }
 
+fn record_line(r: &BenchRecord) -> String {
+    format!(
+        "median {:>12.1}ns   best {:>12.1}ns   ({} iters)",
+        r.median_ns, r.best_ns, r.iters
+    )
+}
+
 fn run_bench<F>(
     mut f: F,
+    group: &str,
+    name: &str,
     sample_size: usize,
     warm_up_time: Duration,
     measurement_time: Duration,
-) -> String
+) -> BenchRecord
 where
     F: FnMut(&mut Bencher),
 {
+    // Smoke mode clamps every budget, including per-group overrides, so
+    // CI's bench stage stays cheap no matter what the bench files ask for.
+    let (sample_size, warm_up_time, measurement_time) = if smoke_mode() {
+        (
+            sample_size.min(3),
+            warm_up_time.min(Duration::from_millis(5)),
+            measurement_time.min(Duration::from_millis(25)),
+        )
+    } else {
+        (sample_size, warm_up_time, measurement_time)
+    };
+
     // Warm-up: single iterations until the warm-up budget is spent, also
     // establishing a per-iteration estimate.
     let warm_start = Instant::now();
@@ -181,8 +247,8 @@ where
         (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64
     };
 
+    let mut sample_means_ns: Vec<f64> = Vec::with_capacity(sample_size.max(1));
     let mut total = Duration::ZERO;
-    let mut best = Duration::MAX;
     let mut timed_iters = 0u64;
     for _ in 0..sample_size.max(1) {
         let mut b = Bencher {
@@ -191,11 +257,86 @@ where
         };
         f(&mut b);
         total += b.elapsed;
-        best = best.min(b.elapsed / iters as u32);
         timed_iters += iters;
+        sample_means_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
     }
-    let mean = total / timed_iters as u32;
-    format!("mean {mean:>12.2?}   best {best:>12.2?}   ({timed_iters} iters)")
+    sample_means_ns.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = if sample_means_ns.len() % 2 == 1 {
+        sample_means_ns[sample_means_ns.len() / 2]
+    } else {
+        let hi = sample_means_ns.len() / 2;
+        (sample_means_ns[hi - 1] + sample_means_ns[hi]) / 2.0
+    };
+    let record = BenchRecord {
+        group: group.to_string(),
+        name: name.to_string(),
+        median_ns,
+        mean_ns: total.as_nanos() as f64 / timed_iters as f64,
+        best_ns: sample_means_ns[0],
+        samples: sample_means_ns.len(),
+        iters: timed_iters,
+    };
+    RECORDS
+        .lock()
+        .expect("bench record lock poisoned")
+        .push(record.clone());
+    record
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Serializes the accumulated [`BenchRecord`]s as the `tmo-bench-v1`
+/// JSON document. Field order is fixed so output diffs cleanly.
+pub fn render_json_report() -> String {
+    let records = RECORDS.lock().expect("bench record lock poisoned");
+    let mode = if smoke_mode() { "smoke" } else { "full" };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"tmo-bench-v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns\": {:.3}, \
+             \"mean_ns\": {:.3}, \"best_ns\": {:.3}, \"samples\": {}, \"iters\": {}}}{sep}\n",
+            json_escape(&r.group),
+            json_escape(&r.name),
+            r.median_ns,
+            r.mean_ns,
+            r.best_ns,
+            r.samples,
+            r.iters,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the JSON report to `$TMO_BENCH_JSON`, if set. Called by the
+/// `criterion_main!`-generated `main` after all groups finish.
+pub fn write_json_report() {
+    let Some(path) = std::env::var_os("TMO_BENCH_JSON") else {
+        return;
+    };
+    let body = render_json_report();
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!(
+            "criterion shim: failed to write {}: {e}",
+            path.to_string_lossy()
+        );
+        std::process::exit(1);
+    }
+    eprintln!("bench report written to {}", path.to_string_lossy());
 }
 
 /// Bundles benchmark functions into a callable group, as criterion does.
@@ -209,12 +350,13 @@ macro_rules! criterion_group {
     };
 }
 
-/// Entry point running the listed groups.
+/// Entry point running the listed groups, then flushing the JSON report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -240,5 +382,15 @@ mod tests {
     #[test]
     fn harness_runs_benches() {
         shim_group();
+        let json = render_json_report();
+        assert!(json.contains("\"schema\": \"tmo-bench-v1\""));
+        assert!(json.contains("\"group\": \"shim\", \"name\": \"iter\""));
+        assert!(json.contains("\"group\": \"shim\", \"name\": \"with_setup\""));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
     }
 }
