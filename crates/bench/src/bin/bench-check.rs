@@ -1,25 +1,19 @@
-//! Validates a `BENCH_*.json` report emitted by the criterion shim:
-//! `bench-check <micro|figures> <path>`. Exits non-zero with a message
-//! when the file is missing, malformed, or missing required benchmarks,
-//! so `scripts/bench.sh` (and CI's bench smoke stage) catch a silently
-//! broken harness.
+//! Validates a `BENCH_*.json` report emitted by the criterion shim (or
+//! the `ext_paper_scale` experiment):
+//! `bench-check <micro|figures|paper-scale> <path>`. Exits non-zero
+//! with a message when the file is missing, malformed, missing required
+//! benchmarks, or — for `paper-scale` — below the parallel-efficiency
+//! floor, so `scripts/bench.sh` (and CI's bench smoke stage) catch a
+//! silently broken harness and scaling regressions alike.
 
-use tmo_bench::report::{BenchReport, REQUIRED_FIGURES, REQUIRED_MICRO};
+use tmo_bench::report::{validate_paper_scale, BenchReport, REQUIRED_FIGURES, REQUIRED_MICRO};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (kind, path) = match args.as_slice() {
         [kind, path] => (kind.as_str(), path.as_str()),
         _ => {
-            eprintln!("usage: bench-check <micro|figures> <path-to-json>");
-            std::process::exit(2);
-        }
-    };
-    let required = match kind {
-        "micro" => REQUIRED_MICRO,
-        "figures" => REQUIRED_FIGURES,
-        other => {
-            eprintln!("bench-check: unknown report kind {other:?}");
+            eprintln!("usage: bench-check <micro|figures|paper-scale> <path-to-json>");
             std::process::exit(2);
         }
     };
@@ -37,9 +31,37 @@ fn main() {
             std::process::exit(1);
         }
     };
-    if let Err(e) = report.validate(required) {
-        eprintln!("bench-check: {path}: {e}");
-        std::process::exit(1);
+    match kind {
+        "micro" | "figures" => {
+            let required = if kind == "micro" {
+                REQUIRED_MICRO
+            } else {
+                REQUIRED_FIGURES
+            };
+            if let Err(e) = report.validate(required) {
+                eprintln!("bench-check: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        "paper-scale" => match validate_paper_scale(&report) {
+            Ok(cells) => {
+                for c in &cells {
+                    println!(
+                        "bench-check: paper_scale hosts={} jobs={} eff_jobs={} \
+                         wall/host={:.0}ns efficiency={:.2}",
+                        c.hosts, c.jobs, c.effective_jobs, c.wall_ns_per_host, c.efficiency
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("bench-check: {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        other => {
+            eprintln!("bench-check: unknown report kind {other:?}");
+            std::process::exit(2);
+        }
     }
     println!(
         "bench-check: {path} OK ({} benchmarks, mode={})",

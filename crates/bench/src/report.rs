@@ -55,6 +55,8 @@ pub const REQUIRED_MICRO: &[(&str, &str)] = &[
     ("machine", "tick_one_container"),
     ("fleet", "run_8_hosts_jobs_1"),
     ("fleet", "run_8_hosts_jobs_4"),
+    ("fleet", "run_1024_hosts_jobs_1"),
+    ("fleet", "run_1024_hosts_jobs_4"),
 ];
 
 /// Benchmarks `BENCH_figures.json` must always contain: one reduced-
@@ -179,6 +181,136 @@ impl BenchReport {
         }
         Ok(())
     }
+}
+
+/// Minimum parallel efficiency a full-scale `paper_scale` report must
+/// reach at [`GATED_JOBS`] workers for fleets of at least
+/// [`FULL_GATE_MIN_HOSTS`] hosts.
+pub const MIN_EFFICIENCY_FULL: f64 = 0.7;
+
+/// Minimum parallel efficiency every [`GATED_JOBS`]-worker cell of a
+/// smoke (clamped) `paper_scale` report must reach.
+pub const MIN_EFFICIENCY_SMOKE: f64 = 0.5;
+
+/// Fleet size from which the full-mode efficiency gate applies.
+pub const FULL_GATE_MIN_HOSTS: u64 = 10_000;
+
+/// The worker count the efficiency gates are evaluated at.
+pub const GATED_JOBS: u64 = 4;
+
+/// One `(hosts, jobs)` cell of a `paper_scale` scaling report, with its
+/// efficiency against the same fleet's `jobs = 1` baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingCell {
+    /// Fleet size (the row's `iters`).
+    pub hosts: u64,
+    /// Requested worker count (from the row name).
+    pub jobs: u64,
+    /// Effective worker count after the machine clamp (the row's
+    /// `samples` — see the `ext_paper_scale` docs).
+    pub effective_jobs: u64,
+    /// Wall time per host, nanoseconds (the row's `median_ns`).
+    pub wall_ns_per_host: f64,
+    /// `wall(hosts, 1) / (effective_jobs · wall(hosts, jobs))`.
+    pub efficiency: f64,
+}
+
+/// Extracts the `paper_scale` cells from a scaling report and computes
+/// each one's parallel efficiency against its fleet's `jobs = 1`
+/// baseline. The efficiency denominator uses the *effective* worker
+/// count (`samples`), so a machine that clamps every run to one core
+/// scores ≈ 1.0 — the metric is scaling quality, not core count.
+pub fn paper_scale_cells(report: &BenchReport) -> Result<Vec<ScalingCell>, String> {
+    let rows: Vec<&BenchResult> = report
+        .results
+        .iter()
+        .filter(|r| r.group == "paper_scale")
+        .collect();
+    if rows.is_empty() {
+        return Err("no paper_scale rows in report".to_string());
+    }
+    let mut cells = Vec::with_capacity(rows.len());
+    for row in &rows {
+        let rest = row
+            .name
+            .strip_prefix("hosts_")
+            .ok_or_else(|| format!("bad paper_scale row name {:?}", row.name))?;
+        let (hosts_s, jobs_s) = rest
+            .split_once("_jobs_")
+            .ok_or_else(|| format!("bad paper_scale row name {:?}", row.name))?;
+        let hosts: u64 = hosts_s
+            .parse()
+            .map_err(|_| format!("bad host count in {:?}", row.name))?;
+        let jobs: u64 = jobs_s
+            .parse()
+            .map_err(|_| format!("bad job count in {:?}", row.name))?;
+        if hosts != row.iters {
+            return Err(format!(
+                "{}: name says {hosts} hosts but iters = {}",
+                row.name, row.iters
+            ));
+        }
+        if row.samples == 0 {
+            return Err(format!("{}: zero effective workers", row.name));
+        }
+        if !row.median_ns.is_finite() || row.median_ns <= 0.0 {
+            return Err(format!(
+                "{}: median_ns = {} not positive",
+                row.name, row.median_ns
+            ));
+        }
+        let baseline = rows
+            .iter()
+            .find(|r| r.iters == hosts && r.name.ends_with("_jobs_1"))
+            .ok_or_else(|| format!("no jobs_1 baseline for {hosts} hosts"))?;
+        cells.push(ScalingCell {
+            hosts,
+            jobs,
+            effective_jobs: row.samples,
+            wall_ns_per_host: row.median_ns,
+            efficiency: baseline.median_ns / (row.samples as f64 * row.median_ns),
+        });
+    }
+    Ok(cells)
+}
+
+/// The `paper_scale` efficiency gate: full reports must hold
+/// [`MIN_EFFICIENCY_FULL`] at [`GATED_JOBS`] workers for every fleet of
+/// at least [`FULL_GATE_MIN_HOSTS`] hosts; smoke reports must hold
+/// [`MIN_EFFICIENCY_SMOKE`] on every [`GATED_JOBS`]-worker cell.
+/// Returns the computed cells on success, so the caller can print them.
+pub fn validate_paper_scale(report: &BenchReport) -> Result<Vec<ScalingCell>, String> {
+    let cells = paper_scale_cells(report)?;
+    let (min_eff, min_hosts) = if report.mode == "full" {
+        (MIN_EFFICIENCY_FULL, FULL_GATE_MIN_HOSTS)
+    } else {
+        (MIN_EFFICIENCY_SMOKE, 0)
+    };
+    let mut gated = 0;
+    for cell in &cells {
+        if cell.jobs != GATED_JOBS || cell.hosts < min_hosts {
+            continue;
+        }
+        gated += 1;
+        if cell.efficiency < min_eff {
+            return Err(format!(
+                "hosts_{}_jobs_{}: parallel efficiency {:.2} below the {:.2} floor \
+                 (eff_jobs={}, wall/host={:.0}ns)",
+                cell.hosts,
+                cell.jobs,
+                cell.efficiency,
+                min_eff,
+                cell.effective_jobs,
+                cell.wall_ns_per_host,
+            ));
+        }
+    }
+    if gated == 0 {
+        return Err(format!(
+            "no jobs_{GATED_JOBS} cells in scope — the efficiency gate never ran"
+        ));
+    }
+    Ok(cells)
 }
 
 struct Cursor<'a> {
@@ -323,5 +455,87 @@ mod tests {
     fn rejects_bad_schema_and_mode() {
         assert!(BenchReport::parse(&SAMPLE.replace("tmo-bench-v1", "v0")).is_err());
         assert!(BenchReport::parse(&SAMPLE.replace("\"full\"", "\"warp\"")).is_err());
+    }
+
+    /// A scaling report where 4 effective workers cut per-host wall to
+    /// ~30% of the sequential baseline (efficiency ≈ 0.83) at 10k
+    /// hosts, while the 1k fleet only reaches 50%.
+    fn scaling_report(mode: &str, wall_10k_jobs4: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "tmo-bench-v1",
+  "mode": "{mode}",
+  "results": [
+    {{"group": "paper_scale", "name": "hosts_1000_jobs_1", "median_ns": 80000.0, "mean_ns": 80000.0, "best_ns": 79000.0, "samples": 1, "iters": 1000}},
+    {{"group": "paper_scale", "name": "hosts_1000_jobs_4", "median_ns": 40000.0, "mean_ns": 40000.0, "best_ns": 39000.0, "samples": 4, "iters": 1000}},
+    {{"group": "paper_scale", "name": "hosts_10000_jobs_1", "median_ns": 80000.0, "mean_ns": 80000.0, "best_ns": 79000.0, "samples": 1, "iters": 10000}},
+    {{"group": "paper_scale", "name": "hosts_10000_jobs_4", "median_ns": {wall_10k_jobs4}, "mean_ns": {wall_10k_jobs4}, "best_ns": 20000.0, "samples": 4, "iters": 10000}}
+  ]
+}}
+"#
+        )
+    }
+
+    #[test]
+    fn paper_scale_cells_compute_effective_jobs_efficiency() {
+        let report = BenchReport::parse(&scaling_report("full", 24000.0)).expect("parses");
+        let cells = paper_scale_cells(&report).expect("cells");
+        let cell = cells
+            .iter()
+            .find(|c| c.hosts == 10_000 && c.jobs == 4)
+            .expect("present");
+        assert_eq!(cell.effective_jobs, 4);
+        assert!(
+            (cell.efficiency - 80000.0 / (4.0 * 24000.0)).abs() < 1e-9,
+            "efficiency {}",
+            cell.efficiency
+        );
+    }
+
+    #[test]
+    fn paper_scale_full_gate_ignores_small_fleets_but_gates_large_ones() {
+        // 1k fleet at 0.5 efficiency: below 0.7 but out of full-mode
+        // scope; 10k fleet at ~0.83: passes.
+        let ok = BenchReport::parse(&scaling_report("full", 24000.0)).expect("parses");
+        validate_paper_scale(&ok).expect("10k fleet holds the 0.7 floor");
+        // 10k fleet degrades to 0.4 efficiency: gate trips.
+        let bad = BenchReport::parse(&scaling_report("full", 50000.0)).expect("parses");
+        let err = validate_paper_scale(&bad).unwrap_err();
+        assert!(err.contains("hosts_10000_jobs_4"), "{err}");
+        assert!(err.contains("0.70"), "{err}");
+    }
+
+    #[test]
+    fn paper_scale_smoke_gate_holds_every_cell_to_half() {
+        // Smoke mode gates all jobs=4 cells at 0.5: both fleets pass at
+        // exactly 0.5 (1k) and 0.83 (10k)...
+        let ok = BenchReport::parse(&scaling_report("smoke", 24000.0)).expect("parses");
+        validate_paper_scale(&ok).expect("0.5 floor holds");
+        // ...but a 1k cell below 0.5 trips it.
+        let bad = BenchReport::parse(&scaling_report("smoke", 24000.0).replace(
+            "\"hosts_1000_jobs_4\", \"median_ns\": 40000.0",
+            "\"hosts_1000_jobs_4\", \"median_ns\": 45000.0",
+        ))
+        .expect("parses");
+        let err = validate_paper_scale(&bad).unwrap_err();
+        assert!(err.contains("hosts_1000_jobs_4"), "{err}");
+    }
+
+    #[test]
+    fn paper_scale_rejects_malformed_rows() {
+        let report = BenchReport::parse(SAMPLE).expect("parses");
+        assert!(paper_scale_cells(&report)
+            .unwrap_err()
+            .contains("no paper_scale rows"));
+        let mismatched = BenchReport::parse(
+            &scaling_report("full", 24000.0).replace(
+                "\"name\": \"hosts_10000_jobs_1\", \"median_ns\": 80000.0, \"mean_ns\": 80000.0, \"best_ns\": 79000.0, \"samples\": 1, \"iters\": 10000",
+                "\"name\": \"hosts_10000_jobs_1\", \"median_ns\": 80000.0, \"mean_ns\": 80000.0, \"best_ns\": 79000.0, \"samples\": 1, \"iters\": 9999",
+            ),
+        )
+        .expect("parses");
+        assert!(paper_scale_cells(&mismatched)
+            .unwrap_err()
+            .contains("iters"));
     }
 }

@@ -55,15 +55,15 @@ pub mod runner;
 pub mod runtime;
 
 pub use container::{ContainerConfig, ContainerId};
-pub use machine::{Machine, MachineConfig, SwapKind, WorkingsetProfile};
-pub use runner::{FleetError, FleetRunner, FleetStats, HostCtx, HostOutcome};
+pub use machine::{Machine, MachineConfig, MachineScratch, SwapKind, WorkingsetProfile};
+pub use runner::{FleetError, FleetRunner, FleetStats, HostCtx, HostOutcome, ShardArena};
 pub use runtime::{ControllerKind, TmoRuntime};
 
 /// Convenient glob-import surface for examples and experiments.
 pub mod prelude {
     pub use crate::container::{ContainerConfig, ContainerId};
-    pub use crate::machine::{Machine, MachineConfig, SwapKind};
-    pub use crate::runner::{FleetRunner, FleetStats, HostCtx, HostOutcome};
+    pub use crate::machine::{Machine, MachineConfig, MachineScratch, SwapKind};
+    pub use crate::runner::{FleetRunner, FleetStats, HostCtx, HostOutcome, ShardArena};
     pub use crate::runtime::{ControllerKind, TmoRuntime};
     pub use tmo_backends::{SsdModel, ZswapAllocator};
     pub use tmo_faults::FaultConfig;

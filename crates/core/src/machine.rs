@@ -119,6 +119,48 @@ impl WorkingsetProfile {
     }
 }
 
+/// Reusable allocation scratch for one [`Machine`]'s hot tick path.
+///
+/// Every buffer in here is **semantically inert**: each is cleared (or
+/// fully overwritten) before any tick reads it, so the only thing a
+/// recycled scratch carries from one machine to the next is heap
+/// *capacity*, never values. That property is what lets the fleet
+/// runner hand one scratch from host to host inside a shard arena
+/// without breaking the bit-identical determinism contract — and it is
+/// pinned by the `arena_reuse` invariant tests.
+///
+/// Obtain one from [`Machine::into_scratch`] when a host simulation
+/// finishes, and thread it into the next host via
+/// [`Machine::with_scratch`].
+#[derive(Debug, Default)]
+pub struct MachineScratch {
+    /// Batched page ids drawn for one temperature class.
+    batch_ids: Vec<tmo_mm::PageId>,
+    /// Batched access outcomes for the same class.
+    batch_out: Vec<tmo_mm::AccessOutcome>,
+    /// Per-class touch counts for one container tick.
+    plan: Vec<u64>,
+    /// Swap-in latencies observed during one tick.
+    swap_latencies: Vec<f64>,
+    /// Per-container tick stats for one tick.
+    all_stats: Vec<TickStats>,
+    /// Machine-wide PSI observations for one tick.
+    host_observations: Vec<TaskObservation>,
+}
+
+impl MachineScratch {
+    /// Clears every buffer, keeping capacity. Values never survive a
+    /// handoff; only the allocations do.
+    fn scrub(&mut self) {
+        self.batch_ids.clear();
+        self.batch_out.clear();
+        self.plan.clear();
+        self.swap_latencies.clear();
+        self.all_stats.clear();
+        self.host_observations.clear();
+    }
+}
+
 /// One simulated host: DRAM, CPUs, a cgroup tree of containers, a swap
 /// backend, a filesystem SSD, per-container PSI, and a metric recorder.
 ///
@@ -147,11 +189,9 @@ pub struct Machine {
     host_faults: Option<HostFaults>,
     /// Last fresh Senpai signal per container, replayed on stale reads.
     signal_cache: Vec<Option<ContainerSignal>>,
-    /// Reusable scratch for the batched access path (page ids drawn for
-    /// one temperature class), to avoid per-tick allocation.
-    batch_ids: Vec<tmo_mm::PageId>,
-    /// Reusable scratch for the batched access outcomes.
-    batch_out: Vec<tmo_mm::AccessOutcome>,
+    /// Reusable tick-path buffers (see [`MachineScratch`]); recyclable
+    /// across machines via `with_scratch`/`into_scratch`.
+    scratch: MachineScratch,
 }
 
 impl Machine {
@@ -162,6 +202,20 @@ impl Machine {
     /// Panics on degenerate configs (zero page size, zero CPUs, zswap
     /// fraction outside `(0, 1)`).
     pub fn new(config: MachineConfig) -> Self {
+        Machine::with_scratch(config, MachineScratch::default())
+    }
+
+    /// Like [`Machine::new`], but adopts an existing scratch so its
+    /// buffer capacity is reused instead of re-grown from zero. The
+    /// scratch is scrubbed on adoption: behavior is bit-identical to
+    /// `Machine::new` whatever the scratch previously held.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configs (zero page size, zero CPUs, zswap
+    /// fraction outside `(0, 1)`).
+    pub fn with_scratch(config: MachineConfig, mut scratch: MachineScratch) -> Self {
+        scratch.scrub();
         assert!(config.cpus > 0, "a machine needs CPUs");
         let mut seed_rng = DetRng::seed_from_u64(config.seed);
         // A zero-intensity config is indistinguishable from no faults;
@@ -247,9 +301,17 @@ impl Machine {
             swap_lat_mean: tmo_sim::Welford::new(),
             host_faults,
             signal_cache: Vec::new(),
-            batch_ids: Vec::new(),
-            batch_out: Vec::new(),
+            scratch,
         }
+    }
+
+    /// Retires the machine, releasing its scratch buffers (scrubbed:
+    /// capacity only, no values) for the next host to adopt via
+    /// [`Machine::with_scratch`].
+    pub fn into_scratch(self) -> MachineScratch {
+        let mut scratch = self.scratch;
+        scratch.scrub();
+        scratch
     }
 
     /// The host configuration.
@@ -464,9 +526,14 @@ impl Machine {
         let dt = self.clock.tick_len();
         let now = self.clock.tick();
         let free_fraction = self.free_fraction();
-        let mut swap_latencies: Vec<f64> = Vec::new();
-
-        let mut all_stats = Vec::with_capacity(self.containers.len());
+        // Tick-local accumulators live in the scratch so their capacity
+        // survives across ticks (and, via into_scratch, across hosts).
+        // Each is cleared here before any read, so reuse is invisible.
+        let mut swap_latencies = std::mem::take(&mut self.scratch.swap_latencies);
+        swap_latencies.clear();
+        let mut all_stats = std::mem::take(&mut self.scratch.all_stats);
+        all_stats.clear();
+        all_stats.reserve(self.containers.len());
         for ci in 0..self.containers.len() {
             if !self.containers[ci].alive {
                 all_stats.push(TickStats::default());
@@ -486,7 +553,8 @@ impl Machine {
         } else {
             0.0
         };
-        let mut host_observations = Vec::new();
+        let mut host_observations = std::mem::take(&mut self.scratch.host_observations);
+        host_observations.clear();
         for (ci, stats) in all_stats.iter_mut().enumerate() {
             if self.containers[ci].alive {
                 stats.cpu_stall = stats.cpu_demand.mul_f64(overload);
@@ -498,6 +566,11 @@ impl Machine {
 
         self.mm.tick(dt);
         self.record_tick(now, &swap_latencies);
+        // Return the accumulators before fault injection: an injected
+        // host panic must not leak their capacity for the tick it fires.
+        self.scratch.swap_latencies = swap_latencies;
+        self.scratch.all_stats = all_stats;
+        self.scratch.host_observations = host_observations;
         self.inject_host_faults(dt);
     }
 
@@ -608,13 +681,21 @@ impl Machine {
             scale *= diurnal.demand_fraction(now);
         }
         let tick_index = (self.clock.ticks() - 1) as usize;
-        let plan: Vec<u64> = match &self.containers[ci].trace {
-            Some(trace) if !trace.is_empty() => trace
-                .tick(tick_index % trace.len())
-                .expect("index wrapped")
-                .clone(),
-            _ => self.containers[ci].planner.plan(dt, &mut self.rng),
-        };
+        // The plan buffer is scratch too: `plan_into` draws the RNG in
+        // exactly the order `plan` did, so swapping in the reusing form
+        // leaves every downstream draw untouched.
+        let mut plan = std::mem::take(&mut self.scratch.plan);
+        match &self.containers[ci].trace {
+            Some(trace) if !trace.is_empty() => {
+                plan.clear();
+                plan.extend_from_slice(
+                    trace.tick(tick_index % trace.len()).expect("index wrapped"),
+                );
+            }
+            _ => self.containers[ci]
+                .planner
+                .plan_into(dt, &mut self.rng, &mut plan),
+        }
         for (class, &count) in plan.iter().enumerate() {
             let count = (count as f64 * scale).round() as u64;
             if self.containers[ci].class_pages[class].is_empty() {
@@ -625,8 +706,8 @@ impl Machine {
             // one-at-a-time loop — then fault the whole batch through
             // the mm's batched entry point, which short-circuits
             // resident pages without a per-page cross-crate call.
-            let mut ids = std::mem::take(&mut self.batch_ids);
-            let mut outcomes = std::mem::take(&mut self.batch_out);
+            let mut ids = std::mem::take(&mut self.scratch.batch_ids);
+            let mut outcomes = std::mem::take(&mut self.scratch.batch_out);
             AccessPlanner::sample_batch_into(
                 &self.containers[ci].class_pages[class],
                 count,
@@ -658,9 +739,10 @@ impl Machine {
                 stats.mem_stall += outcome.memory_stall();
                 stats.io_stall += outcome.io_stall();
             }
-            self.batch_ids = ids;
-            self.batch_out = outcomes;
+            self.scratch.batch_ids = ids;
+            self.scratch.batch_out = outcomes;
         }
+        self.scratch.plan = plan;
         stats.cpu_demand = self.config.access_cpu * stats.accesses;
 
         // 3. Web admission feedback. A request touches

@@ -1,17 +1,28 @@
-//! Deterministic parallel fleet execution.
+//! Deterministic parallel fleet execution, shard-chunked.
 //!
 //! The paper's headline numbers are fleet aggregates over millions of
 //! hosts; the reproduction simulates a representative set of hosts and
 //! aggregates their [`HostSavings`](crate::fleet::HostSavings). A
-//! [`FleetRunner`] shards those per-host simulations across a worker
-//! pool while keeping the output **bit-identical to a sequential run**:
+//! [`FleetRunner`] partitions those per-host simulations into
+//! **contiguous shards** of host indices, farms the shards out to a
+//! worker pool, and keeps the output **bit-identical to a sequential
+//! run**:
 //!
 //! * every host's RNG seed is a pure function of
 //!   `(experiment_seed, host_index)` via
 //!   [`tmo_sim::derive_host_seed`] — no worker ever advances another
 //!   host's stream;
-//! * results are reduced in host-index order, so scheduling order
-//!   cannot leak into the output;
+//! * shards are contiguous, ascending index ranges produced by
+//!   [`shard_plan`], and results are reduced in **shard-index order**,
+//!   which — precisely because the ranges are contiguous and ascending
+//!   — is host-index order. Scheduling order cannot leak into the
+//!   output;
+//! * each worker owns one [`ShardArena`] for its whole lifetime and
+//!   reuses it for every host in every shard it claims. The arena
+//!   carries only *allocation capacity* (see
+//!   [`MachineScratch`](crate::machine::MachineScratch)), never values,
+//!   so reuse is invisible to the simulation — an invariant pinned by
+//!   the `arena_reuse` test suite;
 //! * a panicking host surfaces as a [`FleetError`] naming the host
 //!   instead of hanging or poisoning the pool — and the
 //!   [`FleetRunner::run_collect`] family converts each panic into a
@@ -19,7 +30,26 @@
 //!   host's result is still reduced in index order (chaos experiments
 //!   lose one host, not the fleet).
 //!
-//! Wall-clock accounting per shard is reported through [`FleetStats`]
+//! # Why shards instead of one task per host
+//!
+//! The old engine pulled one host index at a time off an atomic
+//! counter. At datacenter scale that means one claim, one clock pair,
+//! and one result-vector push per host — per-host overhead that at 8
+//! hosts actually made `--jobs 4` *slower* than `--jobs 1` in the
+//! committed benchmark baseline. Shard chunking amortises all of it:
+//! the unit of claiming, timing, and merging is `ceil(hosts /
+//! (workers · k))` hosts (k = [`OVERSUBSCRIBE`], for tail balance),
+//! and the per-host cost inside a shard is a plain indexed loop plus an
+//! arena-recycled simulation.
+//!
+//! Worker counts are clamped to the machine ([`FleetRunner::new`]):
+//! workers beyond `available_parallelism` cannot add throughput, only
+//! spawn and contention overhead, and the output is bit-identical for
+//! any worker count anyway. Determinism tests that must exercise the
+//! multi-worker merge path even on a small machine use
+//! [`FleetRunner::exact`].
+//!
+//! Wall-clock accounting per worker is reported through [`FleetStats`]
 //! so callers (the `repro --jobs N` CLI) can show where time went.
 //!
 //! # The allowlisted timing layer
@@ -28,18 +58,62 @@
 //! the host clock (`Instant::now`), and the values it produces —
 //! [`FleetStats`] wall/busy durations and the derived speedup — are
 //! reporting-only: they flow exclusively to stderr via
-//! [`FleetStats::summary_line`] and never into a `FleetSummary`,
-//! experiment output, or anything else written to stdout, which must
-//! stay a pure function of `(seed, host_index, tick)`. The three call
-//! sites below carry `// lint: allow(wall-clock)` annotations; the
-//! `tmo-lint` CI gate flags any new clock read anywhere else.
+//! [`FleetStats::summary_line`] (and to the side-channel scaling report
+//! file the `ext_paper_scale` experiment writes) and never into a
+//! `FleetSummary`, experiment output, or anything else written to
+//! stdout, which must stay a pure function of `(seed, host_index,
+//! tick)`. The three call sites below carry `// lint: allow(wall-clock)`
+//! annotations; the `tmo-lint` CI gate flags any new clock read
+//! anywhere else.
 
 use std::fmt;
+use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use tmo_sim::derive_host_seed;
+
+use crate::machine::MachineScratch;
+
+/// Shard-size oversubscription factor: each worker's fair share of the
+/// fleet is split into this many shards, so a worker that drew a cheap
+/// shard can steal another instead of idling at the tail.
+pub const OVERSUBSCRIBE: usize = 4;
+
+/// Shards smaller than this are not worth their claim/merge overhead;
+/// [`shard_plan`] lifts the chunk size to this floor (capped at a
+/// worker's fair share, so small fleets still spread across workers).
+pub const MIN_SHARD_HOSTS: usize = 16;
+
+/// Partitions `0..hosts` into contiguous, ascending, equal-size (except
+/// the last) shards for `workers` workers at oversubscription factor
+/// `oversubscribe`.
+///
+/// The chunk size is `ceil(hosts / (workers · oversubscribe))`, lifted
+/// to [`MIN_SHARD_HOSTS`] (but never above a worker's fair share
+/// `ceil(hosts / workers)`, and never below 1). The returned ranges are
+/// an **exact cover** of `0..hosts`: concatenated in order they visit
+/// every host index exactly once — the property the deterministic
+/// merge relies on, pinned by the `shard_chunking` proptests.
+pub fn shard_plan(hosts: usize, workers: usize, oversubscribe: usize) -> Vec<Range<usize>> {
+    if hosts == 0 {
+        return Vec::new();
+    }
+    let workers = workers.max(1);
+    let oversubscribe = oversubscribe.max(1);
+    let slots = workers.saturating_mul(oversubscribe);
+    let fair = hosts.div_ceil(workers);
+    let chunk = hosts.div_ceil(slots).max(MIN_SHARD_HOSTS.min(fair)).max(1);
+    let mut shards = Vec::with_capacity(hosts.div_ceil(chunk));
+    let mut start = 0;
+    while start < hosts {
+        let end = hosts.min(start + chunk);
+        shards.push(start..end);
+        start = end;
+    }
+    shards
+}
 
 /// Per-host context handed to the simulation closure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +124,51 @@ pub struct HostCtx {
     /// The host's machine seed, derived from
     /// `(experiment_seed, host_index)`.
     pub seed: u64,
+}
+
+/// Per-worker reusable state, threaded through every host a worker
+/// simulates.
+///
+/// The arena's contents are strictly *capacity carriers*: a
+/// [`MachineScratch`] parked here between hosts holds empty (scrubbed)
+/// buffers whose heap allocations the next host adopts instead of
+/// growing its own from zero. Nothing in an arena may influence a
+/// host's result — host `i` run alone with a fresh arena and host `i`
+/// run mid-shard behind a hundred other hosts must produce identical
+/// outcomes (the `arena_reuse` tests enforce this, including under
+/// fault injection).
+///
+/// If a host panics while holding the scratch, the scratch is simply
+/// lost with it; [`ShardArena::take_scratch`] falls back to a fresh
+/// default, so crash-churn schedules degrade allocation reuse, never
+/// correctness.
+#[derive(Debug, Default)]
+pub struct ShardArena {
+    scratch: Option<MachineScratch>,
+}
+
+impl ShardArena {
+    /// An empty arena (no parked scratch).
+    pub fn new() -> Self {
+        ShardArena::default()
+    }
+
+    /// Takes the parked scratch, or a fresh default if none is parked
+    /// (first host of a worker, or the previous host panicked while
+    /// holding it).
+    pub fn take_scratch(&mut self) -> MachineScratch {
+        self.scratch.take().unwrap_or_default()
+    }
+
+    /// Parks a retired host's scratch for the next host to adopt.
+    pub fn put_scratch(&mut self, scratch: MachineScratch) {
+        self.scratch = Some(scratch);
+    }
+
+    /// Whether a scratch is currently parked.
+    pub fn has_scratch(&self) -> bool {
+        self.scratch.is_some()
+    }
 }
 
 /// A host simulation panicked.
@@ -116,16 +235,18 @@ pub struct FleetStats {
     pub hosts: usize,
     /// Worker threads used (1 = sequential).
     pub jobs: usize,
-    /// Hosts completed by each shard; sums to `hosts`.
+    /// Shards the fleet was partitioned into (see [`shard_plan`]).
+    pub shards: usize,
+    /// Hosts completed by each worker; sums to `hosts`.
     pub shard_hosts: Vec<usize>,
-    /// Wall-clock each shard spent inside host simulations.
+    /// Wall-clock each worker spent inside host simulations.
     pub shard_busy: Vec<Duration>,
     /// End-to-end wall-clock of the run, including merge.
     pub wall: Duration,
 }
 
 impl FleetStats {
-    /// Sum of per-shard busy time — the sequential-equivalent cost.
+    /// Sum of per-worker busy time — the sequential-equivalent cost.
     pub fn total_busy(&self) -> Duration {
         self.shard_busy.iter().sum()
     }
@@ -140,19 +261,20 @@ impl FleetStats {
 
     /// One-line human summary, e.g. for experiment output footers.
     pub fn summary_line(&self) -> String {
-        let shards: Vec<String> = self
+        let workers: Vec<String> = self
             .shard_hosts
             .iter()
             .zip(&self.shard_busy)
             .map(|(hosts, busy)| format!("{hosts} hosts/{:.2}s", busy.as_secs_f64()))
             .collect();
         format!(
-            "fleet: {} hosts on {} worker(s) in {:.2}s ({:.2}x speedup) [{}]",
+            "fleet: {} hosts in {} shard(s) on {} worker(s) in {:.2}s ({:.2}x speedup) [{}]",
             self.hosts,
+            self.shards,
             self.jobs,
             self.wall.as_secs_f64(),
             self.speedup(),
-            shards.join(", ")
+            workers.join(", ")
         )
     }
 }
@@ -164,16 +286,19 @@ impl FleetStats {
 ///
 /// For a fixed `(experiment_seed, hosts, f)`, the result vector is
 /// bit-identical for every `jobs` value: seeds depend only on the host
-/// index, and results are merged by host index. The closure `f` must
-/// itself be a pure function of its [`HostCtx`] (true for `Machine`
-/// simulations, which draw only from their seeded [`tmo_sim::DetRng`]).
+/// index, and shard results are merged in shard-index (= host-index)
+/// order. The closure `f` must itself be a pure function of its
+/// [`HostCtx`] (true for `Machine` simulations, which draw only from
+/// their seeded [`tmo_sim::DetRng`]); the arena handed to the sharded
+/// APIs carries allocation capacity only and must not influence
+/// results.
 ///
 /// # Example
 ///
 /// ```
 /// use tmo::runner::FleetRunner;
 ///
-/// let parallel = FleetRunner::new(4);
+/// let parallel = FleetRunner::exact(4);
 /// let sequential = FleetRunner::sequential();
 /// let f = |host: tmo::runner::HostCtx| host.seed.wrapping_mul(host.index as u64 + 1);
 /// assert_eq!(
@@ -194,27 +319,48 @@ impl Default for FleetRunner {
 }
 
 impl FleetRunner {
-    /// A runner with `jobs` worker threads. `jobs == 0` means "size to
-    /// the machine", like `make -j`.
+    /// A runner with at most `jobs` worker threads, clamped to the
+    /// machine's available parallelism. `jobs == 0` means "size to the
+    /// machine", like `make -j`.
+    ///
+    /// The clamp exists because workers beyond the core count cannot
+    /// add throughput — results are bit-identical for any worker count,
+    /// so extra threads buy only spawn and contention overhead. Tests
+    /// that must exercise the multi-worker merge path regardless of the
+    /// machine use [`FleetRunner::exact`].
     pub fn new(jobs: usize) -> Self {
         if jobs == 0 {
             return FleetRunner::auto();
         }
-        FleetRunner { jobs }
+        FleetRunner {
+            jobs: jobs.min(Self::machine_parallelism()),
+        }
+    }
+
+    /// A runner with exactly `jobs` worker threads (at least 1), even
+    /// if that oversubscribes the machine. Determinism tests use this
+    /// to drive the real multi-worker claim/merge path on any host.
+    pub fn exact(jobs: usize) -> Self {
+        FleetRunner { jobs: jobs.max(1) }
     }
 
     /// A runner sized to the machine's available parallelism.
     pub fn auto() -> Self {
-        let jobs = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        FleetRunner { jobs }
+        FleetRunner {
+            jobs: Self::machine_parallelism(),
+        }
     }
 
     /// The degenerate single-worker runner: runs hosts inline on the
     /// calling thread, in order.
     pub fn sequential() -> Self {
         FleetRunner { jobs: 1 }
+    }
+
+    fn machine_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 
     /// Worker threads this runner will use.
@@ -245,7 +391,7 @@ impl FleetRunner {
         }
     }
 
-    /// Like [`FleetRunner::run_seeded`], but also returns shard stats
+    /// Like [`FleetRunner::run_seeded`], but also returns worker stats
     /// and surfaces host panics as a [`FleetError`].
     pub fn try_run_seeded<T, F>(
         &self,
@@ -257,12 +403,44 @@ impl FleetRunner {
         T: Send,
         F: Fn(HostCtx) -> T + Sync,
     {
+        self.try_run_seeded_sharded(experiment_seed, hosts, move |ctx, _| f(ctx))
+    }
+
+    /// Arena-aware form of [`FleetRunner::run_seeded`]: the closure
+    /// also receives its worker's [`ShardArena`], from which it can
+    /// recycle [`MachineScratch`] buffers across the hosts of a shard.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first (lowest-index) host panic, naming the host.
+    pub fn run_seeded_sharded<T, F>(&self, experiment_seed: u64, hosts: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(HostCtx, &mut ShardArena) -> T + Sync,
+    {
+        match self.try_run_seeded_sharded(experiment_seed, hosts, f) {
+            Ok((results, _)) => results,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Arena-aware form of [`FleetRunner::try_run_seeded`].
+    pub fn try_run_seeded_sharded<T, F>(
+        &self,
+        experiment_seed: u64,
+        hosts: usize,
+        f: F,
+    ) -> Result<(Vec<T>, FleetStats), FleetError>
+    where
+        T: Send,
+        F: Fn(HostCtx, &mut ShardArena) -> T + Sync,
+    {
         self.execute(hosts, f, move |index| {
             FleetRunner::host_seed(experiment_seed, index)
         })
     }
 
-    /// Runs `hosts` index-only shards (no seed derivation) in
+    /// Runs `hosts` index-only simulations (no seed derivation) in
     /// host-index order — for fan-out over heterogeneous work items that
     /// carry their own seeds.
     ///
@@ -280,17 +458,17 @@ impl FleetRunner {
         }
     }
 
-    /// Like [`FleetRunner::run`], but also returns shard stats and
+    /// Like [`FleetRunner::run`], but also returns worker stats and
     /// surfaces host panics as a [`FleetError`].
     pub fn try_run<T, F>(&self, hosts: usize, f: F) -> Result<(Vec<T>, FleetStats), FleetError>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        self.execute(hosts, move |ctx| f(ctx.index), |index| index as u64)
+        self.execute(hosts, move |ctx, _| f(ctx.index), |index| index as u64)
     }
 
-    /// Runs `hosts` index-only shards and returns **all** per-host
+    /// Runs `hosts` index-only simulations and returns **all** per-host
     /// outcomes in host-index order: surviving hosts as
     /// [`HostOutcome::Completed`], panicked hosts as
     /// [`HostOutcome::Failed`]. One bad host no longer discards the
@@ -300,7 +478,7 @@ impl FleetRunner {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        self.execute_collect(hosts, move |ctx| f(ctx.index), |index| index as u64)
+        self.execute_collect(hosts, move |ctx, _| f(ctx.index), |index| index as u64)
     }
 
     /// Like [`FleetRunner::run_collect`] with seeds derived from
@@ -316,6 +494,20 @@ impl FleetRunner {
     where
         T: Send,
         F: Fn(HostCtx) -> T + Sync,
+    {
+        self.run_collect_seeded_sharded(experiment_seed, hosts, move |ctx, _| f(ctx))
+    }
+
+    /// Arena-aware form of [`FleetRunner::run_collect_seeded`].
+    pub fn run_collect_seeded_sharded<T, F>(
+        &self,
+        experiment_seed: u64,
+        hosts: usize,
+        f: F,
+    ) -> (Vec<HostOutcome<T>>, FleetStats)
+    where
+        T: Send,
+        F: Fn(HostCtx, &mut ShardArena) -> T + Sync,
     {
         self.execute_collect(hosts, f, move |index| {
             FleetRunner::host_seed(experiment_seed, index)
@@ -333,7 +525,7 @@ impl FleetRunner {
     ) -> Result<(Vec<T>, FleetStats), FleetError>
     where
         T: Send,
-        F: Fn(HostCtx) -> T + Sync,
+        F: Fn(HostCtx, &mut ShardArena) -> T + Sync,
         S: Fn(usize) -> u64 + Sync,
     {
         let (outcomes, stats) = self.execute_collect(hosts, f, seed_of);
@@ -355,8 +547,12 @@ impl FleetRunner {
         }
     }
 
-    /// The single fleet engine: every host index runs exactly once and
-    /// produces exactly one outcome, merged in host-index order.
+    /// The single fleet engine: the host range is partitioned by
+    /// [`shard_plan`], workers claim whole shards off an atomic
+    /// counter, every host index runs exactly once inside its shard,
+    /// and shard results are concatenated in shard-index order — which,
+    /// because shards are contiguous ascending ranges, is host-index
+    /// order.
     ///
     /// This is the allowlisted timing layer (see the module docs): the
     /// clippy exemption below and the per-site `lint: allow` comments
@@ -371,17 +567,18 @@ impl FleetRunner {
     ) -> (Vec<HostOutcome<T>>, FleetStats)
     where
         T: Send,
-        F: Fn(HostCtx) -> T + Sync,
+        F: Fn(HostCtx, &mut ShardArena) -> T + Sync,
         S: Fn(usize) -> u64 + Sync,
     {
         let start = Instant::now(); // lint: allow(wall-clock) stderr-only speedup reporting via FleetStats::summary_line
-        let jobs = self.jobs.min(hosts).max(1);
-        let run_host = |index: usize| -> HostOutcome<T> {
+        let workers = self.jobs.min(hosts).max(1);
+        let shards = shard_plan(hosts, workers, OVERSUBSCRIBE);
+        let run_host = |index: usize, arena: &mut ShardArena| -> HostOutcome<T> {
             let ctx = HostCtx {
                 index,
                 seed: seed_of(index),
             };
-            match catch_unwind(AssertUnwindSafe(|| f(ctx))) {
+            match catch_unwind(AssertUnwindSafe(|| f(ctx, arena))) {
                 Ok(value) => HostOutcome::Completed(value),
                 Err(payload) => HostOutcome::Failed(FleetError {
                     host: index,
@@ -390,50 +587,67 @@ impl FleetRunner {
             }
         };
 
-        if jobs == 1 {
+        if workers == 1 {
+            // Inline on the calling thread: no spawn, one arena, hosts
+            // already in index order.
+            let mut arena = ShardArena::new();
             let mut outcomes = Vec::with_capacity(hosts);
-            let mut busy = Duration::ZERO;
+            let busy_start = Instant::now(); // lint: allow(wall-clock) stderr-only per-worker busy accounting
             for index in 0..hosts {
-                let host_start = Instant::now(); // lint: allow(wall-clock) stderr-only per-shard busy accounting
-                outcomes.push(run_host(index));
-                busy += host_start.elapsed();
+                outcomes.push(run_host(index, &mut arena));
             }
             let stats = FleetStats {
                 hosts,
                 jobs: 1,
+                shards: shards.len(),
                 shard_hosts: vec![hosts],
-                shard_busy: vec![busy],
+                shard_busy: vec![busy_start.elapsed()],
                 wall: start.elapsed(),
             };
             return (outcomes, stats);
         }
 
-        // Work-stealing by atomic counter: each worker pulls the next
-        // unclaimed host index. The *claim* order is scheduling-
-        // dependent, but seeds depend only on the index and the merge
-        // below restores index order, so results are not. Failures do
-        // not stop a worker: in chaos runs a panicking host is routine,
-        // and the rest of the fleet must still be simulated.
+        // Work-stealing by atomic counter over *shards*: each worker
+        // pulls the next unclaimed shard and runs its whole contiguous
+        // host range against the worker's private arena. The *claim*
+        // order is scheduling-dependent, but seeds depend only on the
+        // host index and the merge below restores shard order, so
+        // results are not. Failures do not stop a worker: in chaos runs
+        // a panicking host is routine, and the rest of the fleet must
+        // still be simulated.
+        let shard_count = shards.len();
         let next = AtomicUsize::new(0);
-        let shards: Vec<ShardOutcome<T>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..jobs)
+        let per_worker: Vec<WorkerOutcome<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
+                    let shards = &shards;
                     let run_host = &run_host;
                     scope.spawn(move || {
-                        let mut completed = Vec::new();
+                        let mut arena = ShardArena::new();
+                        let mut completed: Vec<(usize, Vec<HostOutcome<T>>)> = Vec::new();
+                        let mut hosts_done = 0usize;
                         let mut busy = Duration::ZERO;
                         loop {
-                            let index = next.fetch_add(1, Ordering::Relaxed);
-                            if index >= hosts {
+                            let shard_index = next.fetch_add(1, Ordering::Relaxed);
+                            if shard_index >= shard_count {
                                 break;
                             }
-                            let host_start = Instant::now(); // lint: allow(wall-clock) stderr-only per-shard busy accounting
-                            let outcome = run_host(index);
-                            busy += host_start.elapsed();
-                            completed.push((index, outcome));
+                            let range = shards[shard_index].clone();
+                            let shard_start = Instant::now(); // lint: allow(wall-clock) stderr-only per-worker busy accounting
+                            let mut outcomes = Vec::with_capacity(range.len());
+                            for index in range {
+                                outcomes.push(run_host(index, &mut arena));
+                            }
+                            busy += shard_start.elapsed();
+                            hosts_done += outcomes.len();
+                            completed.push((shard_index, outcomes));
                         }
-                        ShardOutcome { completed, busy }
+                        WorkerOutcome {
+                            completed,
+                            hosts: hosts_done,
+                            busy,
+                        }
                     })
                 })
                 .collect();
@@ -445,30 +659,35 @@ impl FleetRunner {
 
         let mut stats = FleetStats {
             hosts,
-            jobs,
-            shard_hosts: Vec::with_capacity(jobs),
-            shard_busy: Vec::with_capacity(jobs),
+            jobs: workers,
+            shards: shard_count,
+            shard_hosts: Vec::with_capacity(workers),
+            shard_busy: Vec::with_capacity(workers),
             wall: Duration::ZERO,
         };
-        let mut slots: Vec<Option<HostOutcome<T>>> = (0..hosts).map(|_| None).collect();
-        for shard in shards {
-            stats.shard_hosts.push(shard.completed.len());
-            stats.shard_busy.push(shard.busy);
-            for (index, outcome) in shard.completed {
-                slots[index] = Some(outcome);
+        let mut slots: Vec<Option<Vec<HostOutcome<T>>>> = (0..shard_count).map(|_| None).collect();
+        for worker in per_worker {
+            stats.shard_hosts.push(worker.hosts);
+            stats.shard_busy.push(worker.busy);
+            for (shard_index, outcomes) in worker.completed {
+                slots[shard_index] = Some(outcomes);
             }
         }
-        let outcomes = slots
-            .into_iter()
-            .map(|slot| slot.expect("every host index was claimed exactly once"))
-            .collect();
+        let mut merged = Vec::with_capacity(hosts);
+        for slot in slots {
+            merged.extend(slot.expect("every shard index was claimed exactly once"));
+        }
         stats.wall = start.elapsed();
-        (outcomes, stats)
+        (merged, stats)
     }
 }
 
-struct ShardOutcome<T> {
-    completed: Vec<(usize, HostOutcome<T>)>,
+struct WorkerOutcome<T> {
+    /// Shard results this worker produced, tagged by shard index.
+    completed: Vec<(usize, Vec<HostOutcome<T>>)>,
+    /// Hosts simulated across all claimed shards.
+    hosts: usize,
+    /// Wall-clock spent inside host simulations.
     busy: Duration,
 }
 
@@ -488,13 +707,14 @@ mod tests {
 
     #[test]
     fn results_come_back_in_host_index_order_with_hosts_far_exceeding_workers() {
-        let runner = FleetRunner::new(4);
+        let runner = FleetRunner::exact(4);
         let (results, stats) = runner
             .try_run(257, |index| index * 3)
             .expect("no host panics");
         assert_eq!(results, (0..257).map(|i| i * 3).collect::<Vec<_>>());
         assert_eq!(stats.hosts, 257);
         assert_eq!(stats.jobs, 4);
+        assert_eq!(stats.shards, shard_plan(257, 4, OVERSUBSCRIBE).len());
         assert_eq!(stats.shard_hosts.iter().sum::<usize>(), 257);
         assert_eq!(stats.shard_busy.len(), 4);
     }
@@ -503,7 +723,7 @@ mod tests {
     fn jobs_one_degenerate_case_matches_parallel() {
         let f = |host: HostCtx| (host.index, host.seed, host.seed % 7);
         let sequential = FleetRunner::sequential().run_seeded(11, 40, f);
-        let parallel = FleetRunner::new(8).run_seeded(11, 40, f);
+        let parallel = FleetRunner::exact(8).run_seeded(11, 40, f);
         assert_eq!(sequential, parallel);
     }
 
@@ -514,9 +734,56 @@ mod tests {
     }
 
     #[test]
+    fn new_clamps_to_machine_parallelism_and_exact_does_not() {
+        let cores = FleetRunner::auto().jobs();
+        assert!(FleetRunner::new(10_000).jobs() <= cores);
+        assert_eq!(FleetRunner::exact(10_000).jobs(), 10_000);
+        assert_eq!(FleetRunner::exact(0).jobs(), 1);
+    }
+
+    #[test]
+    fn shard_plan_is_an_exact_contiguous_cover() {
+        for &(hosts, workers) in &[
+            (1usize, 1usize),
+            (8, 4),
+            (17, 4),
+            (257, 4),
+            (1000, 3),
+            (100_000, 8),
+        ] {
+            let shards = shard_plan(hosts, workers, OVERSUBSCRIBE);
+            let mut expected_start = 0;
+            for shard in &shards {
+                assert_eq!(shard.start, expected_start, "{hosts}/{workers}");
+                assert!(shard.end > shard.start, "empty shard at {hosts}/{workers}");
+                expected_start = shard.end;
+            }
+            assert_eq!(expected_start, hosts, "{hosts}/{workers}");
+        }
+        assert!(shard_plan(0, 4, OVERSUBSCRIBE).is_empty());
+    }
+
+    #[test]
+    fn shard_plan_spreads_small_fleets_across_workers() {
+        // 8 hosts / 4 workers: the MIN_SHARD_HOSTS floor must cap at the
+        // fair share (2), not collapse the fleet into one 8-host shard.
+        let shards = shard_plan(8, 4, OVERSUBSCRIBE);
+        assert!(shards.len() >= 4, "shards: {shards:?}");
+    }
+
+    #[test]
+    fn shard_plan_amortises_large_fleets() {
+        // 100k hosts / 4 workers: chunks of ceil(100k/16) = 6250, i.e.
+        // 16 shards — thousands of hosts per claim, not one.
+        let shards = shard_plan(100_000, 4, OVERSUBSCRIBE);
+        assert_eq!(shards.len(), 16);
+        assert!(shards.iter().all(|s| s.len() >= 6_000));
+    }
+
+    #[test]
     fn seeds_are_per_host_and_independent_of_jobs() {
         let seeds_seq = FleetRunner::sequential().run_seeded(42, 16, |h| h.seed);
-        let seeds_par = FleetRunner::new(4).run_seeded(42, 16, |h| h.seed);
+        let seeds_par = FleetRunner::exact(4).run_seeded(42, 16, |h| h.seed);
         assert_eq!(seeds_seq, seeds_par);
         for (index, seed) in seeds_seq.iter().enumerate() {
             assert_eq!(*seed, FleetRunner::host_seed(42, index));
@@ -528,8 +795,26 @@ mod tests {
     }
 
     #[test]
+    fn arena_is_threaded_through_every_host_of_a_worker() {
+        // Count scratch handoffs: each host takes the scratch and puts
+        // it back, so within one sequential worker the arena must carry
+        // the same scratch through all hosts.
+        let handoffs = FleetRunner::sequential().run_seeded_sharded(5, 10, |_ctx, arena| {
+            let had = arena.has_scratch();
+            let scratch = arena.take_scratch();
+            arena.put_scratch(scratch);
+            had
+        });
+        assert!(!handoffs[0], "first host starts with an empty arena");
+        assert!(
+            handoffs[1..].iter().all(|&had| had),
+            "every later host inherits the parked scratch"
+        );
+    }
+
+    #[test]
     fn panicking_host_surfaces_an_error_instead_of_hanging() {
-        let runner = FleetRunner::new(4);
+        let runner = FleetRunner::exact(4);
         let err = runner
             .try_run(64, |index| {
                 if index == 13 {
@@ -559,7 +844,7 @@ mod tests {
     #[test]
     fn run_panics_with_host_context() {
         let caught = std::panic::catch_unwind(|| {
-            FleetRunner::new(2).run(4, |index| {
+            FleetRunner::exact(2).run(4, |index| {
                 if index == 1 {
                     panic!("kaput");
                 }
@@ -574,7 +859,7 @@ mod tests {
 
     #[test]
     fn run_collect_keeps_survivors_alongside_failures() {
-        let (outcomes, stats) = FleetRunner::new(4).run_collect(64, |index| {
+        let (outcomes, stats) = FleetRunner::exact(4).run_collect(64, |index| {
             if index % 10 == 3 {
                 panic!("injected panic on host {index}");
             }
@@ -604,24 +889,47 @@ mod tests {
             h.seed
         };
         let (seq, _) = FleetRunner::sequential().run_collect_seeded(1300, 50, f);
-        let (par, _) = FleetRunner::new(4).run_collect_seeded(1300, 50, f);
+        let (par, _) = FleetRunner::exact(4).run_collect_seeded(1300, 50, f);
         assert_eq!(seq, par);
     }
 
     #[test]
+    fn panic_mid_shard_loses_scratch_but_not_determinism() {
+        // Host 5 panics while holding the scratch; host 6 must still run
+        // and take_scratch must fall back to a default.
+        let f = |ctx: HostCtx, arena: &mut ShardArena| {
+            let scratch = arena.take_scratch();
+            if ctx.index == 5 {
+                panic!("dies holding the scratch");
+            }
+            arena.put_scratch(scratch);
+            ctx.seed
+        };
+        let (seq, _) = FleetRunner::sequential().run_collect_seeded_sharded(9, 12, f);
+        let (par, _) = FleetRunner::exact(3).run_collect_seeded_sharded(9, 12, f);
+        assert_eq!(seq, par);
+        assert!(seq[5].is_failed());
+        assert_eq!(seq.iter().filter(|o| o.is_failed()).count(), 1);
+    }
+
+    #[test]
     fn zero_hosts_is_fine() {
-        let (results, stats) = FleetRunner::new(4).try_run(0, |i| i).expect("empty fleet");
+        let (results, stats) = FleetRunner::exact(4)
+            .try_run(0, |i| i)
+            .expect("empty fleet");
         assert!(results.is_empty());
         assert_eq!(stats.hosts, 0);
         assert_eq!(stats.jobs, 1, "an empty fleet needs no workers");
+        assert_eq!(stats.shards, 0);
     }
 
     #[test]
     fn stats_summary_line_mentions_hosts_and_workers() {
-        let (_, stats) = FleetRunner::new(2).try_run(6, |i| i).expect("runs");
+        let (_, stats) = FleetRunner::exact(2).try_run(40, |i| i).expect("runs");
         let line = stats.summary_line();
-        assert!(line.contains("6 hosts"), "line: {line}");
+        assert!(line.contains("40 hosts"), "line: {line}");
         assert!(line.contains("2 worker"), "line: {line}");
+        assert!(line.contains("shard"), "line: {line}");
         assert_eq!(
             stats.total_busy(),
             stats.shard_busy.iter().sum::<Duration>()

@@ -86,6 +86,23 @@ pub struct ChaosPoint {
 /// sidecar under accelerated Senpai and oomd, with the host's fault
 /// schedule derived from its seed.
 pub fn run_host(seed: u64, index: usize, intensity: f64, scale: Scale) -> ChaosHostReport {
+    run_host_with_scratch(seed, index, intensity, scale, MachineScratch::default()).0
+}
+
+/// [`run_host`] with an adopted [`MachineScratch`], for shard-arena
+/// buffer recycling. Returns the host's report plus the retired
+/// (scrubbed) scratch. Behavior is bit-identical to [`run_host`]
+/// whatever the scratch previously held — the `arena_reuse` tests pin
+/// this even under crash-churn and host-panic schedules. Note a host
+/// whose injected panic fires never returns: its scratch dies with it,
+/// and the arena falls back to a fresh default for the next host.
+pub fn run_host_with_scratch(
+    seed: u64,
+    index: usize,
+    intensity: f64,
+    scale: Scale,
+    scratch: MachineScratch,
+) -> (ChaosHostReport, MachineScratch) {
     let dram = ByteSize::from_mib(scale.dram_mib());
     let swap = match index % 3 {
         0 => SwapKind::Tiered {
@@ -101,13 +118,16 @@ pub fn run_host(seed: u64, index: usize, intensity: f64, scale: Scale) -> ChaosH
         },
         _ => SwapKind::Ssd(SsdModel::C),
     };
-    let mut machine = Machine::new(MachineConfig {
-        dram,
-        swap,
-        seed,
-        faults: Some(chaos_profile(intensity)),
-        ..MachineConfig::default()
-    });
+    let mut machine = Machine::with_scratch(
+        MachineConfig {
+            dram,
+            swap,
+            seed,
+            faults: Some(chaos_profile(intensity)),
+            ..MachineConfig::default()
+        },
+        scratch,
+    );
     machine.add_container(&apps::feed().with_mem_total(dram.mul_f64(0.45)));
     machine.add_container_with(
         &tax::datacenter_tax(dram),
@@ -122,7 +142,7 @@ pub fn run_host(seed: u64, index: usize, intensity: f64, scale: Scale) -> ChaosH
     let m = rt.machine();
     let stats = m.mm().swap_stats().unwrap_or_default();
     let (_, _, p99, _) = m.swap_latency_summary_ms();
-    ChaosHostReport {
+    let report = ChaosHostReport {
         savings: m.savings_fraction(ContainerId(0)).max(0.0),
         p99_swap_ms: p99,
         failovers: stats.failovers,
@@ -130,14 +150,25 @@ pub fn run_host(seed: u64, index: usize, intensity: f64, scale: Scale) -> ChaosH
         faults_injected: stats.faults_injected,
         io_errors: stats.io_errors,
         swap_dead: m.mm().swap_ssd().is_some_and(|s| s.is_dead()),
-    }
+    };
+    (report, rt.into_machine().into_scratch())
 }
 
 /// Runs one intensity point's fleet on the given runner and aggregates.
+/// Hosts recycle machine scratch through their worker's shard arena.
 pub fn run_point(runner: &FleetRunner, intensity: f64, scale: Scale) -> ChaosPoint {
-    let (outcomes, stats) = runner.run_collect_seeded(EXPERIMENT_SEED, HOSTS_PER_POINT, |host| {
-        run_host(host.seed, host.index, intensity, scale)
-    });
+    let (outcomes, stats) =
+        runner.run_collect_seeded_sharded(EXPERIMENT_SEED, HOSTS_PER_POINT, |host, arena| {
+            let (report, scratch) = run_host_with_scratch(
+                host.seed,
+                host.index,
+                intensity,
+                scale,
+                arena.take_scratch(),
+            );
+            arena.put_scratch(scratch);
+            report
+        });
     // Diagnostics to stderr: stdout must stay bit-identical per --jobs.
     eprintln!("chaos intensity {intensity}: {}", stats.summary_line());
     let survivors: Vec<&ChaosHostReport> = outcomes.iter().filter_map(|o| o.completed()).collect();
@@ -269,8 +300,10 @@ mod tests {
 
     #[test]
     fn sweep_is_identical_for_any_worker_count() {
+        // exact(4): really spawn 4 workers even on a small machine, so
+        // the parallel merge path is what gets compared.
         let seq = run_point(&FleetRunner::sequential(), 0.5, Scale::Quick);
-        let par = run_point(&FleetRunner::new(4), 0.5, Scale::Quick);
+        let par = run_point(&FleetRunner::exact(4), 0.5, Scale::Quick);
         assert_eq!(seq, par);
     }
 }

@@ -32,10 +32,12 @@
 //! | [`ext_tiered`] | §5.2 | tiered backend hierarchy extension |
 //! | [`ext_sweep`] | §4.4 | Senpai tuning sweep (savings/RPS frontier) |
 //! | [`ext_chaos`] | §4.5/§5.2 | fault-injection degradation curves |
+//! | [`ext_paper_scale`] | §4 (fleet scale) | shard-chunked harness scaling laws |
 //! | [`headline`] | abstract | fleet-wide 20-32% savings rollup |
 
 pub mod ablate;
 pub mod ext_chaos;
+pub mod ext_paper_scale;
 pub mod ext_sweep;
 pub mod ext_tiered;
 pub mod fig01;
@@ -95,10 +97,19 @@ pub fn run_figure_with(
 /// All reproducible figure numbers in order.
 pub const ALL_FIGURES: [u32; 14] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14];
 
-/// The named (non-figure) experiments, in the order `--extensions` and
-/// `--all` run them.
-pub const NAMED_EXPERIMENTS: [&str; 5] =
-    ["ablate", "ext_tiered", "ext_sweep", "ext_chaos", "headline"];
+/// The named (non-figure) experiments. All but `ext_paper_scale` run
+/// under `--extensions` / `--all`, in this order; `ext_paper_scale` is
+/// wall-clock-bound (it measures the harness itself, sweeping its own
+/// worker counts) and runs only when named explicitly with
+/// `--experiment ext_paper_scale`.
+pub const NAMED_EXPERIMENTS: [&str; 6] = [
+    "ablate",
+    "ext_tiered",
+    "ext_sweep",
+    "ext_chaos",
+    "headline",
+    "ext_paper_scale",
+];
 
 /// Runs one named experiment on the given runner. Returns `None` for
 /// names not in [`NAMED_EXPERIMENTS`].
@@ -109,6 +120,8 @@ pub fn run_named_with(runner: &FleetRunner, name: &str, scale: Scale) -> Option<
         "ext_sweep" => ext_sweep::run_with(runner, scale),
         "ext_chaos" => ext_chaos::run_with(runner, scale),
         "headline" => headline::run_with(runner, scale),
+        // Sweeps its own worker counts; the CLI runner is unused.
+        "ext_paper_scale" => ext_paper_scale::run(scale),
         _ => return None,
     })
 }

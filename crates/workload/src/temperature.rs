@@ -119,6 +119,20 @@ impl AccessPlanner {
             .collect()
     }
 
+    /// Buffer-reusing form of [`AccessPlanner::plan`]: clears `out` and
+    /// fills it with this tick's per-class touch counts. Draws exactly
+    /// one `rng.poisson` per class, in class order — the same stream
+    /// consumption as `plan` — so a simulation can switch between the
+    /// two forms without perturbing any downstream draw.
+    pub fn plan_into(&self, dt: SimDuration, rng: &mut DetRng, out: &mut Vec<u64>) {
+        out.clear();
+        out.reserve(self.classes.len());
+        for (class, &pages) in self.classes.iter().zip(&self.pages_per_class) {
+            let mean = pages as f64 * dt.as_secs_f64() / class.reaccess.as_secs_f64();
+            out.push(rng.poisson(mean));
+        }
+    }
+
     /// Uniformly samples `count` elements of `items` (with replacement)
     /// into `out`, clearing it first. Draws exactly one `rng.below` per
     /// sample, in plan order, so handing the batch to

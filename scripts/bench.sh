@@ -37,9 +37,27 @@ echo "==> cargo bench --bench figures ($MODE)"
 TMO_BENCH_JSON="$OUTDIR/BENCH_figures.json" \
     cargo bench --offline -q -p tmo-bench --bench figures
 
+echo "==> paper_scale sweep ($MODE)"
+# The harness-scaling experiment: fleet size × worker count, emitting a
+# tmo-bench-v1 scaling report as a side channel (stdout stays the
+# deterministic checksum table). Smoke clamps to the 1k-host rung; the
+# full run sweeps up to 100k hosts. Stdout is discarded here — the
+# determinism assertions inside the experiment still run either way.
+cargo build --release --offline -q -p tmo-experiments --bin repro
+if [[ "$MODE" == smoke ]]; then
+    TMO_SCALING_JSON="$OUTDIR/BENCH_scaling.json" \
+        ./target/release/repro --experiment ext_paper_scale --quick >/dev/null
+else
+    TMO_SCALING_JSON="$OUTDIR/BENCH_scaling.json" \
+        ./target/release/repro --experiment ext_paper_scale >/dev/null
+fi
+
 echo "==> bench-check"
 cargo build --release --offline -q -p tmo-bench --bin bench-check
 ./target/release/bench-check micro "$OUTDIR/BENCH_micro.json"
 ./target/release/bench-check figures "$OUTDIR/BENCH_figures.json"
+# Hard parallel-efficiency gate: >= 0.7 at jobs=4 for >= 10k hosts in
+# full mode, >= 0.5 for every jobs=4 cell in smoke mode.
+./target/release/bench-check paper-scale "$OUTDIR/BENCH_scaling.json"
 
 echo "==> bench.sh: reports written to $OUTDIR (mode=$MODE)"

@@ -12,6 +12,13 @@ cargo build --release --workspace --offline
 echo "==> cargo test -q"
 cargo test -q --workspace --offline
 
+echo "==> seed stability: 1k-host jobs sweep (release)"
+# The determinism contract at scale, as a hard gate: a 1000-host fleet
+# swept across jobs ∈ {1,3,8} must produce a bit-identical FleetSummary
+# (tests/seed_stability.rs). Release mode keeps the sweep to seconds and
+# matches how the paper_scale experiment actually runs.
+cargo test --release -q --offline --test seed_stability
+
 echo "==> tmo-lint: determinism contract gate"
 # Static determinism analysis (DESIGN.md "Determinism contract"): no
 # hash-ordered iteration or ambient wall-clock/entropy in sim code, no

@@ -35,7 +35,10 @@ fn run_chaos_fleet(
     experiment_seed: u64,
     faults: FaultConfig,
 ) -> Vec<Result<HostDigest, (usize, String)>> {
-    let runner = FleetRunner::new(jobs);
+    // exact(): really spawn `jobs` workers even on a small machine, so
+    // the jobs=4 comparisons exercise the multi-worker merge path
+    // instead of clamping down to the inline sequential one.
+    let runner = FleetRunner::exact(jobs);
     let (outcomes, _) = runner.run_collect_seeded(experiment_seed, FLEET_HOSTS, |host| {
         let server = ByteSize::from_mib(128);
         let swap = if host.index % 2 == 0 {

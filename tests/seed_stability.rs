@@ -96,6 +96,51 @@ fn different_experiment_seeds_diverge() {
     );
 }
 
+/// Satellite of the shard-chunked runner: a fleet three orders of
+/// magnitude larger than the 6-host smoke above, swept across worker
+/// counts that straddle the shard plan's interesting regimes (1 = the
+/// inline path, 3 = uneven shard/worker ratio, 8 = more workers than a
+/// small machine has cores). `exact()` bypasses the core clamp so the
+/// real multi-worker merge path runs everywhere, including CI's
+/// single-core boxes. Promoted to a hard release-mode gate in
+/// `scripts/ci.sh`.
+#[test]
+fn thousand_host_fleet_is_bit_identical_across_jobs() {
+    const SWEEP_HOSTS: usize = 1_000;
+    const SWEEP_SEED: u64 = 7100;
+    let run = |jobs: usize| {
+        let (hosts, stats) = FleetRunner::exact(jobs)
+            .try_run_seeded_sharded(
+                SWEEP_SEED,
+                SWEEP_HOSTS,
+                tmo_experiments::ext_paper_scale::run_host,
+            )
+            .expect("scaling hosts are fault-free");
+        let summary = summarize(&hosts);
+        (hosts, summary, stats)
+    };
+    let (hosts_base, summary_base, _) = run(1);
+    assert_eq!(hosts_base.len(), SWEEP_HOSTS);
+    assert!(
+        summary_base.total_fraction > 0.0,
+        "fleet must actually save"
+    );
+    for jobs in [3usize, 8] {
+        let (hosts, summary, stats) = run(jobs);
+        assert_eq!(
+            hosts_base, hosts,
+            "jobs={jobs} changed a host result at 1k-host scale"
+        );
+        assert_bit_identical(&summary_base, &summary);
+        assert_eq!(stats.jobs, jobs, "exact() must not clamp");
+        assert!(
+            stats.shards > 1,
+            "a 1k-host fleet must actually be chunked (got {} shard)",
+            stats.shards
+        );
+    }
+}
+
 #[test]
 fn host_seed_mapping_is_stable_and_documented() {
     // The seed→host mapping is part of the public contract (EXPERIMENTS
