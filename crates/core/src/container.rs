@@ -114,6 +114,11 @@ pub struct Container {
     pub(crate) churn_carry: f64,
     /// Write-once never-read file pages created by the churn.
     pub(crate) churn_pages: Vec<PageId>,
+    /// Anonymous pages leaked by a scenario modulator: allocated, never
+    /// touched again, released only when the container is killed.
+    pub(crate) leak_pages: Vec<PageId>,
+    /// Fractional leak carry between ticks.
+    pub(crate) leak_carry: f64,
     /// Initial resident footprint (pages), the savings baseline.
     pub(crate) initial_resident_pages: u64,
     /// Stats of the most recent tick.
@@ -164,6 +169,12 @@ impl Container {
     /// Whether the container is still running (not killed).
     pub fn is_alive(&self) -> bool {
         self.alive
+    }
+
+    /// Pages currently held by the scenario leak model (resident or
+    /// offloaded; released on kill).
+    pub fn leaked_pages(&self) -> usize {
+        self.leak_pages.len()
     }
 }
 

@@ -51,11 +51,13 @@ pub mod container;
 pub mod cost;
 pub mod fleet;
 pub mod machine;
+pub mod modulate;
 pub mod runner;
 pub mod runtime;
 
 pub use container::{ContainerConfig, ContainerId};
 pub use machine::{Machine, MachineConfig, MachineScratch, SwapKind, WorkingsetProfile};
+pub use modulate::{NullModulator, WorkloadModulator};
 pub use runner::{FleetError, FleetRunner, FleetStats, HostCtx, HostOutcome, ShardArena};
 pub use runtime::{ControllerKind, TmoRuntime};
 
@@ -63,6 +65,7 @@ pub use runtime::{ControllerKind, TmoRuntime};
 pub mod prelude {
     pub use crate::container::{ContainerConfig, ContainerId};
     pub use crate::machine::{Machine, MachineConfig, MachineScratch, SwapKind};
+    pub use crate::modulate::{NullModulator, WorkloadModulator};
     pub use crate::runner::{FleetRunner, FleetStats, HostCtx, HostOutcome, ShardArena};
     pub use crate::runtime::{ControllerKind, TmoRuntime};
     pub use tmo_backends::{SsdModel, ZswapAllocator};

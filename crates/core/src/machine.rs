@@ -9,6 +9,7 @@ use tmo_sim::{ByteSize, Clock, DetRng, Recorder, SimDuration, SimTime};
 use tmo_workload::{AccessPlanner, AppProfile, WebServerModel};
 
 use crate::container::{Container, ContainerConfig, ContainerId, TickStats};
+use crate::modulate::WorkloadModulator;
 
 /// Which offload backend the host's swap uses.
 #[derive(Debug, Clone, PartialEq)]
@@ -189,6 +190,10 @@ pub struct Machine {
     host_faults: Option<HostFaults>,
     /// Last fresh Senpai signal per container, replayed on stale reads.
     signal_cache: Vec<Option<ContainerSignal>>,
+    /// Scenario workload modulator (demand waves, leaks, churn spikes,
+    /// storm kills); `None` leaves the tick path byte-identical to a
+    /// pre-scenario machine.
+    modulator: Option<Box<dyn WorkloadModulator>>,
     /// Reusable tick-path buffers (see [`MachineScratch`]); recyclable
     /// across machines via `with_scratch`/`into_scratch`.
     scratch: MachineScratch,
@@ -301,8 +306,21 @@ impl Machine {
             swap_lat_mean: tmo_sim::Welford::new(),
             host_faults,
             signal_cache: Vec::new(),
+            modulator: None,
             scratch,
         }
+    }
+
+    /// Attaches a scenario workload modulator. Its hooks are consulted
+    /// every tick for every container; see [`WorkloadModulator`] for
+    /// the purity contract that keeps modulated runs deterministic.
+    pub fn set_modulator(&mut self, modulator: Box<dyn WorkloadModulator>) {
+        self.modulator = Some(modulator);
+    }
+
+    /// Detaches the modulator, returning it if one was attached.
+    pub fn clear_modulator(&mut self) -> Option<Box<dyn WorkloadModulator>> {
+        self.modulator.take()
     }
 
     /// Retires the machine, releasing its scratch buffers (scrubbed:
@@ -504,6 +522,8 @@ impl Machine {
                 .unwrap_or(0.0),
             churn_carry: 0.0,
             churn_pages: Vec::new(),
+            leak_pages: Vec::new(),
+            leak_carry: 0.0,
             initial_resident_pages,
             last_tick: TickStats::default(),
         });
@@ -574,22 +594,38 @@ impl Machine {
         self.inject_host_faults(dt);
     }
 
-    /// Applies this tick's host-level fault schedule: container crash
-    /// churn (kill + immediate restart) and injected host panics. The
-    /// panic is deliberate — the fleet runner's per-host isolation must
-    /// convert it into a recorded failure, not lose the fleet.
+    /// Applies this tick's host-level fault schedule — container crash
+    /// churn (kill + immediate restart) and injected host panics — plus
+    /// the scenario modulator's churn-storm kills. The panic is
+    /// deliberate: the fleet runner's per-host isolation must convert
+    /// it into a recorded failure, not lose the fleet.
     fn inject_host_faults(&mut self, dt: SimDuration) {
-        let Some(hf) = self.host_faults else { return };
         let tick = self.clock.ticks();
-        if hf.panics_at(tick, dt) {
-            panic!("injected host panic at tick {tick}");
-        }
+        let now = self.clock.now();
         let n = self.containers.len() as u64;
+        if let Some(hf) = self.host_faults {
+            if hf.panics_at(tick, dt) {
+                panic!("injected host panic at tick {tick}");
+            }
+            if n > 0 {
+                if let Some(victim) = hf.crash_victim(tick, dt, n) {
+                    let id = ContainerId(victim as usize);
+                    if self.containers[id.0].alive {
+                        self.kill_container(id);
+                        self.restart_container(id);
+                    }
+                }
+            }
+        }
         if n == 0 {
             return;
         }
-        if let Some(victim) = hf.crash_victim(tick, dt, n) {
-            let id = ContainerId(victim as usize);
+        let storm = self
+            .modulator
+            .as_ref()
+            .and_then(|m| m.storm_kill_victim(tick, now, dt, n));
+        if let Some(victim) = storm {
+            let id = ContainerId((victim % n) as usize);
             if self.containers[id.0].alive {
                 self.kill_container(id);
                 self.restart_container(id);
@@ -640,10 +676,18 @@ impl Machine {
         // 1b. Pathological file-cache churn (§5.1): write-once file
         // pages accumulate; pages the kernel has since evicted are
         // dropped for good (their content was replaced), page structs
-        // and all.
-        if self.containers[ci].churn_pages_per_sec > 0.0 {
-            let want = self.containers[ci].churn_pages_per_sec * dt.as_secs_f64()
-                + self.containers[ci].churn_carry;
+        // and all. A scenario modulator can add a sidecar-tax spike on
+        // top of the configured rate; with no modulator and no
+        // configured churn this whole step is untouched dead code, so
+        // the pre-scenario tick path stays byte-identical.
+        let page_bytes = self.config.page_size.as_u64() as f64;
+        let churn_pages_per_sec = self.containers[ci].churn_pages_per_sec
+            + match &self.modulator {
+                Some(m) => m.churn_bytes_per_sec(ci, now).as_u64() as f64 / page_bytes,
+                None => 0.0,
+            };
+        if churn_pages_per_sec > 0.0 || !self.containers[ci].churn_pages.is_empty() {
+            let want = churn_pages_per_sec * dt.as_secs_f64() + self.containers[ci].churn_carry;
             let n = want as u64;
             self.containers[ci].churn_carry = want - n as f64;
             if n > 0 {
@@ -668,6 +712,30 @@ impl Machine {
             }
         }
 
+        // 1c. Scenario memory leak: anonymous pages allocated and never
+        // touched again — cold garbage that only a kill releases. The
+        // controller should discover and offload it; an unmanaged host
+        // eventually runs out of DRAM. No modulator ⇒ no code runs.
+        let leak_pages_per_sec = match &self.modulator {
+            Some(m) => m.leak_bytes_per_sec(ci, now).as_u64() as f64 / page_bytes,
+            None => 0.0,
+        };
+        if leak_pages_per_sec > 0.0 {
+            let want = leak_pages_per_sec * dt.as_secs_f64() + self.containers[ci].leak_carry;
+            let n = want as u64;
+            self.containers[ci].leak_carry = want - n as f64;
+            if n > 0 {
+                match self.mm.alloc_pages(cg, PageKind::Anon, n, now) {
+                    Ok(out) => {
+                        stats.mem_stall += out.reclaim_stall;
+                        stats.stall += out.reclaim_stall;
+                        self.containers[ci].leak_pages.extend(out.pages);
+                    }
+                    Err(_) => stats.alloc_failed = true,
+                }
+            }
+        }
+
         // 2. Access stream. Web containers touch memory in proportion
         // to admitted load, floored at half intensity: even a throttled
         // server keeps executing its code and core data paths, which
@@ -679,6 +747,9 @@ impl Machine {
             .unwrap_or(1.0);
         if let Some(diurnal) = self.containers[ci].diurnal {
             scale *= diurnal.demand_fraction(now);
+        }
+        if let Some(m) = &self.modulator {
+            scale *= m.demand_scale(ci, now);
         }
         let tick_index = (self.clock.ticks() - 1) as usize;
         // The plan buffer is scratch too: `plan_into` draws the RNG in
@@ -1041,11 +1112,14 @@ impl Machine {
             .copied()
             .collect();
         pages.extend(self.containers[id.0].churn_pages.iter().copied());
+        pages.extend(self.containers[id.0].leak_pages.iter().copied());
         self.mm.free_pages_of(&pages);
         let c = &mut self.containers[id.0];
         c.class_pages.iter_mut().for_each(Vec::clear);
         c.churn_pages.clear();
         c.churn_pages_per_sec = 0.0;
+        c.leak_pages.clear();
+        c.leak_carry = 0.0;
         c.alive = false;
         c.growth_remaining_pages = 0;
         let name = c.name.clone();

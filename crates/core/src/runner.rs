@@ -913,6 +913,36 @@ mod tests {
     }
 
     #[test]
+    fn poisoned_host_surfaces_its_payload_and_spares_its_shard() {
+        // One shard (sequential runner, 6 hosts): host 2 panics with a
+        // String payload, host 4 with a non-string payload. Every other
+        // host in the same shard must still complete, and each failure
+        // record must carry the best available message.
+        let (outcomes, _) = FleetRunner::sequential().run_collect(6, |index| match index {
+            2 => panic!("poisoned host {index}"),
+            4 => std::panic::panic_any(index as u64),
+            _ => index + 100,
+        });
+        assert_eq!(outcomes.len(), 6);
+        let string_err = outcomes[2].failure().expect("host 2 failed");
+        assert_eq!(string_err.host, 2);
+        assert_eq!(string_err.message, "poisoned host 2");
+        assert_eq!(
+            string_err.to_string(),
+            "fleet host 2 panicked: poisoned host 2"
+        );
+        let any_err = outcomes[4].failure().expect("host 4 failed");
+        assert_eq!(any_err.message, "non-string panic payload");
+        for index in [0, 1, 3, 5] {
+            assert_eq!(
+                outcomes[index].completed(),
+                Some(&(index + 100)),
+                "host {index} should have survived its shard-mates' panics"
+            );
+        }
+    }
+
+    #[test]
     fn zero_hosts_is_fine() {
         let (results, stats) = FleetRunner::exact(4)
             .try_run(0, |i| i)

@@ -13,8 +13,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tmo_experiments::{
-    ablate, ext_chaos, ext_sweep, ext_tiered, headline, run_figure_with, run_named_with,
-    ExperimentOutput, FleetRunner, Scale, ALL_FIGURES, NAMED_EXPERIMENTS,
+    ablate, experiment_description, ext_adversarial, ext_chaos, ext_sweep, ext_tiered,
+    figure_description, headline, run_figure_with, run_named_with, ExperimentOutput, FleetRunner,
+    Scale, ALL_FIGURES, NAMED_EXPERIMENTS,
 };
 
 #[derive(Debug, Default)]
@@ -24,6 +25,7 @@ struct Args {
     all: bool,
     ablations: bool,
     extensions: bool,
+    list: bool,
     quick: bool,
     csv: Option<PathBuf>,
     /// Worker threads for multi-host figures; 0 = size to the machine.
@@ -47,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
             "--all" | "-a" => args.all = true,
             "--ablations" => args.ablations = true,
             "--extensions" => args.extensions = true,
+            "--list" | "-l" => args.list = true,
             "--quick" | "-q" => args.quick = true,
             "--csv" => {
                 let v = iter.next().ok_or("--csv needs a directory")?;
@@ -59,9 +62,11 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "repro — regenerate the TMO paper's figures\n\n\
-                     USAGE: repro [--figure N]... [--experiment NAME]... [--all] [--ablations] [--extensions] [--quick] [--jobs N] [--csv DIR]\n\n\
+                     USAGE: repro [--figure N]... [--experiment NAME]... [--all] [--ablations] [--extensions] [--list] [--quick] [--jobs N] [--csv DIR]\n\n\
                      --jobs N shards multi-host figures over N worker threads (0 = all\n\
-                     cores, the default); results are bit-identical for every N.\n\n\
+                     cores, the default); results are bit-identical for every N.\n\
+                     --list enumerates every figure and named experiment with a\n\
+                     one-line description, without running anything.\n\n\
                      Figures: {}\n\
                      Experiments: {}",
                     ALL_FIGURES
@@ -81,6 +86,7 @@ fn parse_args() -> Result<Args, String> {
         && !args.all
         && !args.ablations
         && !args.extensions
+        && !args.list
     {
         args.all = true;
     }
@@ -110,6 +116,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.list {
+        println!("figures:");
+        for figure in ALL_FIGURES {
+            let desc = figure_description(figure).unwrap_or("(undocumented)");
+            println!("  {figure:>2}  {desc}");
+        }
+        println!("experiments:");
+        for name in NAMED_EXPERIMENTS {
+            let desc = experiment_description(name).unwrap_or("(undocumented)");
+            println!("  {name:<16} {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
     let scale = if args.quick {
         Scale::Quick
     } else {
@@ -166,6 +185,8 @@ fn main() -> ExitCode {
         let output = ext_sweep::run_with(&runner, scale);
         println!("{}", output.render());
         let output = ext_chaos::run_with(&runner, scale);
+        println!("{}", output.render());
+        let output = ext_adversarial::run_with(&runner, scale);
         println!("{}", output.render());
         let output = headline::run_with(&runner, scale);
         println!("{}", output.render());

@@ -32,10 +32,12 @@
 //! | [`ext_tiered`] | §5.2 | tiered backend hierarchy extension |
 //! | [`ext_sweep`] | §4.4 | Senpai tuning sweep (savings/RPS frontier) |
 //! | [`ext_chaos`] | §4.5/§5.2 | fault-injection degradation curves |
+//! | [`ext_adversarial`] | §2.2/§4.4 | adversarial scenario replay, SLO scoring, blame |
 //! | [`ext_paper_scale`] | §4 (fleet scale) | shard-chunked harness scaling laws |
 //! | [`headline`] | abstract | fleet-wide 20-32% savings rollup |
 
 pub mod ablate;
+pub mod ext_adversarial;
 pub mod ext_chaos;
 pub mod ext_paper_scale;
 pub mod ext_sweep;
@@ -102,11 +104,12 @@ pub const ALL_FIGURES: [u32; 14] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 1
 /// wall-clock-bound (it measures the harness itself, sweeping its own
 /// worker counts) and runs only when named explicitly with
 /// `--experiment ext_paper_scale`.
-pub const NAMED_EXPERIMENTS: [&str; 6] = [
+pub const NAMED_EXPERIMENTS: [&str; 7] = [
     "ablate",
     "ext_tiered",
     "ext_sweep",
     "ext_chaos",
+    "ext_adversarial",
     "headline",
     "ext_paper_scale",
 ];
@@ -119,9 +122,45 @@ pub fn run_named_with(runner: &FleetRunner, name: &str, scale: Scale) -> Option<
         "ext_tiered" => ext_tiered::run_with(runner, scale),
         "ext_sweep" => ext_sweep::run_with(runner, scale),
         "ext_chaos" => ext_chaos::run_with(runner, scale),
+        "ext_adversarial" => ext_adversarial::run_with(runner, scale),
         "headline" => headline::run_with(runner, scale),
         // Sweeps its own worker counts; the CLI runner is unused.
         "ext_paper_scale" => ext_paper_scale::run(scale),
+        _ => return None,
+    })
+}
+
+/// One-line description of a figure experiment, for `repro --list`.
+pub fn figure_description(figure: u32) -> Option<&'static str> {
+    Some(match figure {
+        1 => "hardware cost model across server generations",
+        2 => "application memory coldness CDF",
+        3 => "datacenter / microservice memory tax",
+        4 => "anonymous vs file-backed memory breakdown",
+        5 => "fleet SSD latency/bandwidth characteristics",
+        6 => "architecture overview as a live walkthrough",
+        7 => "PSI some/full pressure worked example",
+        8 => "Senpai pressure tracking and reclaim tuning",
+        9 => "per-application memory savings",
+        10 => "memory-tax savings from offloading sidecars",
+        11 => "Web on memory-bound hosts, three deployment phases",
+        12 => "PSI vs promotion rate on fast vs slow SSDs",
+        13 => "Senpai config A vs config B RPS/savings tradeoff",
+        14 => "swap write regulation under endurance limits",
+        _ => return None,
+    })
+}
+
+/// One-line description of a named experiment, for `repro --list`.
+pub fn experiment_description(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "ablate" => "design-choice ablations (PSI flavors, policies, backends)",
+        "ext_tiered" => "tiered zswap+SSD backend hierarchy extension",
+        "ext_sweep" => "Senpai tuning sweep: savings vs RPS frontier",
+        "ext_chaos" => "fault-injection degradation curves over chaos intensity",
+        "ext_adversarial" => "adversarial scenario replay: SLO scores, blame, A/B harness",
+        "headline" => "fleet-wide 20-32% savings headline rollup",
+        "ext_paper_scale" => "shard-chunked fleet-runner scaling laws (wall-clock bound)",
         _ => return None,
     })
 }

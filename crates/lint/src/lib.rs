@@ -48,8 +48,17 @@ pub struct Analysis {
 /// the hash-iteration and float-reduction rules. `experiments` is
 /// deliberately absent: report formatting is not sim state (it is still
 /// bound by the wall-clock rule — its *output* must be reproducible).
-const SIM_CRATES: [&str; 9] = [
-    "backends", "core", "faults", "gswap", "mm", "psi", "senpai", "sim", "workload",
+const SIM_CRATES: [&str; 10] = [
+    "backends",
+    "core",
+    "faults",
+    "gswap",
+    "mm",
+    "psi",
+    "scenarios",
+    "senpai",
+    "sim",
+    "workload",
 ];
 
 /// Decides which rules bind a workspace-relative path.
@@ -223,6 +232,10 @@ mod tests {
         assert!(scope_for("crates/senpai/tests/properties.rs").is_empty());
         let experiments = scope_for("crates/experiments/src/headline.rs");
         assert!(experiments.wall_clock && !experiments.hash_iter);
+        let scenarios = scope_for("crates/scenarios/src/engine.rs");
+        assert!(scenarios.hash_iter && scenarios.wall_clock && scenarios.float_reduction);
+        assert!(!scenarios.unwrap_in_fault_path);
+        assert!(scope_for("crates/scenarios/tests/properties.rs").is_empty());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Paired A/B comparison on identically-seeded traffic.
+//!
+//! The paper's Senpai-vs-baseline comparisons (§5) hold the workload
+//! fixed and vary only the controller; the simulator can do better and
+//! hold the *exact byte stream* fixed: run the same seeded hosts twice,
+//! once per config, and pair the per-host metrics. The significance
+//! test is a paired t-statistic over the per-host differences — pure
+//! arithmetic over two equal-length slices, so the report is exactly as
+//! deterministic as the runs that fed it.
+
+/// Verdict of a paired A/B comparison of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Significance {
+    /// Number of host pairs.
+    pub n: usize,
+    /// Mean of per-pair `a - b` differences.
+    pub mean_diff: f64,
+    /// Sample standard deviation of the differences.
+    pub sd_diff: f64,
+    /// Paired t-statistic (`mean / (sd / sqrt(n))`); infinite when
+    /// every pair moved the same non-zero amount, 0 for all-ties.
+    pub t_stat: f64,
+    /// Pairs where `a < b` (A strictly better if lower-is-better).
+    pub a_better: usize,
+    /// Pairs where `b < a`.
+    pub b_better: usize,
+    /// Exactly equal pairs.
+    pub ties: usize,
+}
+
+impl Significance {
+    /// Whether the difference clears the evidence bar: at least 4
+    /// pairs and `|t| >= 2.0` (~95% two-sided for small n).
+    pub fn significant(&self) -> bool {
+        self.n >= 4 && self.t_stat.abs() >= 2.0
+    }
+
+    /// One-line human verdict, assuming the metric is lower-is-better.
+    pub fn verdict(&self, a_name: &str, b_name: &str) -> String {
+        if self.n == 0 {
+            return "no pairs".to_string();
+        }
+        let (winner, direction) = if self.mean_diff < 0.0 {
+            (a_name, "lower")
+        } else if self.mean_diff > 0.0 {
+            (b_name, "lower")
+        } else {
+            return format!("tie across {} pairs", self.n);
+        };
+        let strength = if self.significant() {
+            "significant"
+        } else {
+            "not significant"
+        };
+        format!(
+            "{winner} {direction} by {:.2} mean ({} of {} pairs, t={:.2}, {strength})",
+            self.mean_diff.abs(),
+            self.a_better.max(self.b_better),
+            self.n,
+            if self.t_stat.is_finite() {
+                self.t_stat
+            } else {
+                f64::INFINITY
+            },
+        )
+    }
+}
+
+/// Paired comparison of one metric across identically-seeded runs:
+/// `a[i]` and `b[i]` must come from the same host seed under configs A
+/// and B respectively.
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ — unequal lengths mean the
+/// pairing is broken and any verdict would be meaningless.
+pub fn paired_significance(a: &[f64], b: &[f64]) -> Significance {
+    assert_eq!(a.len(), b.len(), "paired metrics must align per host");
+    let n = a.len();
+    if n == 0 {
+        return Significance {
+            n: 0,
+            mean_diff: 0.0,
+            sd_diff: 0.0,
+            t_stat: 0.0,
+            a_better: 0,
+            b_better: 0,
+            ties: 0,
+        };
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let mean_diff = diffs.iter().sum::<f64>() / n as f64;
+    let var = if n > 1 {
+        diffs.iter().map(|d| (d - mean_diff).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let sd_diff = var.sqrt();
+    let t_stat = if sd_diff > 0.0 {
+        mean_diff / (sd_diff / (n as f64).sqrt())
+    } else if mean_diff == 0.0 {
+        0.0
+    } else {
+        // Every pair moved identically: direction is certain.
+        f64::INFINITY.copysign(mean_diff)
+    };
+    Significance {
+        n,
+        mean_diff,
+        sd_diff,
+        t_stat,
+        a_better: diffs.iter().filter(|d| **d < 0.0).count(),
+        b_better: diffs.iter().filter(|d| **d > 0.0).count(),
+        ties: diffs.iter().filter(|d| **d == 0.0).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_winner_is_significant() {
+        let a = [1.0, 1.1, 0.9, 1.05, 0.95, 1.0];
+        let b = [2.0, 2.2, 1.9, 2.1, 2.0, 1.95];
+        let s = paired_significance(&a, &b);
+        assert_eq!(s.n, 6);
+        assert_eq!(s.a_better, 6);
+        assert!(s.mean_diff < 0.0);
+        assert!(s.significant(), "t = {}", s.t_stat);
+        let v = s.verdict("A", "B");
+        assert!(v.starts_with('A') && v.contains("significant"), "{v}");
+    }
+
+    #[test]
+    fn identical_runs_are_a_tie() {
+        let a = [3.0, 4.0, 5.0, 6.0];
+        let s = paired_significance(&a, &a);
+        assert_eq!(s.ties, 4);
+        assert_eq!(s.t_stat, 0.0);
+        assert!(!s.significant());
+        assert_eq!(s.verdict("A", "B"), "tie across 4 pairs");
+    }
+
+    #[test]
+    fn uniform_shift_has_infinite_t() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.5, 2.5, 3.5, 4.5];
+        let s = paired_significance(&a, &b);
+        assert_eq!(s.sd_diff, 0.0);
+        assert!(s.t_stat.is_infinite() && s.t_stat < 0.0);
+        assert!(s.significant());
+    }
+
+    #[test]
+    fn too_few_pairs_never_clear_the_bar() {
+        let s = paired_significance(&[1.0, 1.0], &[9.0, 9.0]);
+        assert!(!s.significant(), "2 pairs is anecdote, not evidence");
+    }
+
+    #[test]
+    fn empty_input_is_harmless() {
+        let s = paired_significance(&[], &[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.verdict("A", "B"), "no pairs");
+    }
+}

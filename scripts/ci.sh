@@ -19,6 +19,13 @@ echo "==> seed stability: 1k-host jobs sweep (release)"
 # matches how the paper_scale experiment actually runs.
 cargo test --release -q --offline --test seed_stability
 
+echo "==> scenario stability: full catalog jobs sweep (release)"
+# Every shipped adversarial scenario (tmo-scenarios catalog) replayed
+# over a small fleet at jobs ∈ {1,4,8} must produce bit-identical
+# ScenarioOutcomes — SLO reports, blame ledgers, and degradation
+# scalars compared field-for-field (tests/scenario_stability.rs).
+cargo test --release -q --offline --test scenario_stability
+
 echo "==> tmo-lint: determinism contract gate"
 # Static determinism analysis (DESIGN.md "Determinism contract"): no
 # hash-ordered iteration or ambient wall-clock/entropy in sim code, no
@@ -42,6 +49,16 @@ echo "==> chaos smoke: ext_chaos --quick --jobs 4 vs golden"
 ./target/release/repro --experiment ext_chaos --quick --jobs 4 2>/dev/null \
     | diff -u scripts/golden/ext_chaos_quick.txt - \
     || { echo "ext_chaos output drifted from scripts/golden/ext_chaos_quick.txt"; exit 1; }
+
+echo "==> adversarial smoke: ext_adversarial --quick --jobs 4 vs golden"
+# The scenario engine draws only from FaultPlan hashes of (seed, host
+# index, tick), so the quick adversarial sweep — degradation table,
+# blame edges, and the paired A/B verdict — is byte-stable across runs
+# and worker counts. Diffing against the golden pins both the engine's
+# determinism and the SLO/blame scoring pipeline.
+./target/release/repro --experiment ext_adversarial --quick --jobs 4 2>/dev/null \
+    | diff -u scripts/golden/ext_adversarial_quick.txt - \
+    || { echo "ext_adversarial output drifted from scripts/golden/ext_adversarial_quick.txt"; exit 1; }
 
 echo "==> bench smoke: scripts/bench.sh --smoke"
 # Compiles and exercises every benchmark with clamped sample counts and

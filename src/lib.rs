@@ -14,6 +14,8 @@
 //! * [`tmo_workload`] — synthetic workload and application profiles.
 //! * [`tmo_senpai`] — the Senpai userspace controller.
 //! * [`tmo_gswap`] — the g-swap promotion-rate baseline controller.
+//! * [`tmo_scenarios`] — adversarial scenario engine, SLO scoring, and
+//!   blame attribution.
 
 pub use tmo;
 pub use tmo_backends;
@@ -21,6 +23,7 @@ pub use tmo_faults;
 pub use tmo_gswap;
 pub use tmo_mm;
 pub use tmo_psi;
+pub use tmo_scenarios;
 pub use tmo_senpai;
 pub use tmo_sim;
 pub use tmo_workload;
