@@ -225,6 +225,23 @@ fn machine_tick(c: &mut Criterion) {
     group.finish();
 }
 
+fn lint_workspace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lint");
+    group.sample_size(10);
+    // The determinism analyzer is a CI gate, so its wall time is a
+    // tracked cost: lex + parse + call graph + taint fixpoint over
+    // every in-scope file in the workspace, per iteration.
+    let root = tmo_lint::find_workspace_root(std::path::Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("bench runs inside the workspace");
+    group.bench_function("lint_workspace", |b| {
+        b.iter(|| {
+            let analysis = tmo_lint::analyze_workspace(black_box(&root)).expect("readable tree");
+            black_box((analysis.findings.len(), analysis.files_scanned))
+        })
+    });
+    group.finish();
+}
+
 fn fleet_runner_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet");
     group.sample_size(10);
@@ -289,6 +306,7 @@ criterion_group!(
     backend_latency,
     rng_sampling,
     machine_tick,
-    fleet_runner_scaling
+    fleet_runner_scaling,
+    lint_workspace
 );
 criterion_main!(micro);

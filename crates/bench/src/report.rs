@@ -57,6 +57,7 @@ pub const REQUIRED_MICRO: &[(&str, &str)] = &[
     ("fleet", "run_8_hosts_jobs_4"),
     ("fleet", "run_1024_hosts_jobs_1"),
     ("fleet", "run_1024_hosts_jobs_4"),
+    ("lint", "lint_workspace"),
 ];
 
 /// Benchmarks `BENCH_figures.json` must always contain: one reduced-

@@ -358,6 +358,7 @@ impl FleetRunner {
     }
 
     fn machine_parallelism() -> usize {
+        // lint: allow(determinism-taint) sizes the worker pool only; results are jobs-invariant (seed-stability gate pins --jobs 1 == --jobs N)
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)

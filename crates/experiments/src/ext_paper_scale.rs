@@ -274,6 +274,7 @@ pub fn run(scale: Scale) -> ExperimentOutput {
             );
         }
     }
+    // lint: allow(determinism-taint) opt-in side-channel report path; stdout and the returned output are unaffected
     if let Some(path) = std::env::var_os("TMO_SCALING_JSON") {
         let json = scaling_report_json(&points, scale);
         if let Err(e) = std::fs::write(&path, json) {

@@ -1,6 +1,7 @@
 //! The stateless hash core every fault decision derives from.
 
 use tmo_sim::rng::derive_host_seed;
+use tmo_sim::seed_ns::FAULT_PLAN_SEED_NS;
 
 /// Salt namespaces, one per fault category, so decisions in different
 /// categories are decorrelated even at the same tick.
@@ -55,11 +56,11 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// Derives the plan for `host_index` of an experiment, using the
     /// same seed-derivation discipline as the fleet runner but in a
-    /// disjoint namespace (so fault draws never correlate with the
-    /// host's workload RNG streams).
+    /// disjoint registered namespace (`tmo_sim::seed_ns`), so fault
+    /// draws never correlate with the host's workload RNG streams.
     pub fn new(experiment_seed: u64, host_index: u64) -> Self {
         FaultPlan {
-            seed: derive_host_seed(experiment_seed ^ 0xFA17_FA17_FA17_FA17, host_index),
+            seed: derive_host_seed(experiment_seed ^ FAULT_PLAN_SEED_NS, host_index),
         }
     }
 

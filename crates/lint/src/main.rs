@@ -1,20 +1,28 @@
 //! CLI for the determinism analyzer.
 //!
 //! ```text
-//! tmo-lint [--root <dir>] [--allows]
+//! tmo-lint [--root <dir>] [--allows] [--format human|json|sarif]
 //! ```
 //!
 //! Default mode prints rustc-style diagnostics for every unsuppressed
 //! finding and exits 1 if there are any; `--allows` prints the sorted
 //! inventory of accepted `// lint: allow(...)` sites (compared against
 //! `scripts/golden/lint_clean.txt` in CI so new escape hatches surface
-//! in review).
+//! in review); `--format json`/`--format sarif` emit the machine-
+//! readable reports (same exit-code contract as human mode).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let mut allows_mode = false;
+    let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -27,8 +35,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!("error: --format requires one of human|json|sarif (got {other:?})");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: tmo-lint [--root <dir>] [--allows]");
+                eprintln!("usage: tmo-lint [--root <dir>] [--allows] [--format human|json|sarif]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -63,15 +80,21 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    for finding in &analysis.findings {
-        println!("{finding}\n");
+    match format {
+        Format::Human => {
+            for finding in &analysis.findings {
+                println!("{finding}\n");
+            }
+            eprintln!(
+                "tmo-lint: {} finding(s) across {} file(s) scanned ({} allowed site(s))",
+                analysis.findings.len(),
+                analysis.files_scanned,
+                analysis.allows.len()
+            );
+        }
+        Format::Json => print!("{}", tmo_lint::emit::to_json(&analysis)),
+        Format::Sarif => print!("{}", tmo_lint::emit::to_sarif(&analysis)),
     }
-    eprintln!(
-        "tmo-lint: {} finding(s) across {} file(s) scanned ({} allowed site(s))",
-        analysis.findings.len(),
-        analysis.files_scanned,
-        analysis.allows.len()
-    );
     if analysis.findings.is_empty() {
         ExitCode::SUCCESS
     } else {

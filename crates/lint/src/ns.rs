@@ -1,0 +1,228 @@
+//! Parser for the seed-namespace registry
+//! (`crates/sim/src/seed_ns.rs`).
+//!
+//! The `rng-namespace` rule treats exactly the `*_SEED_NS` constants
+//! declared in that file as registered. This module extracts them from
+//! the lexed token stream and audits the registry itself: duplicate
+//! values (two streams silently correlated) and drift between the
+//! constants and the `ALL` table are findings *in the registry file*.
+
+use crate::lexer::LexedFile;
+use crate::rules::{RawFinding, Rule};
+
+/// Workspace-relative path of the registry file.
+pub const REGISTRY_PATH: &str = "crates/sim/src/seed_ns.rs";
+
+/// One registered namespace constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NsConst {
+    pub name: String,
+    pub value: u64,
+    pub line: u32,
+}
+
+/// The parsed registry: the set of names the `rng-namespace` rule
+/// accepts at seed-derivation sites.
+#[derive(Debug, Clone, Default)]
+pub struct NsRegistry {
+    pub consts: Vec<NsConst>,
+}
+
+impl NsRegistry {
+    pub fn is_registered(&self, name: &str) -> bool {
+        self.consts.iter().any(|c| c.name == name)
+    }
+}
+
+/// Parses a Rust integer literal token (`0xFA17_FA17`, `1_000`, `7u64`)
+/// as u64. Returns `None` for anything that is not a clean literal.
+fn parse_u64_literal(text: &str) -> Option<u64> {
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    let cleaned = cleaned
+        .strip_suffix("u64")
+        .or_else(|| cleaned.strip_suffix("usize"))
+        .unwrap_or(&cleaned);
+    if let Some(hex) = cleaned
+        .strip_prefix("0x")
+        .or_else(|| cleaned.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        cleaned.parse().ok()
+    }
+}
+
+/// Extracts the registry from the lexed `seed_ns.rs` and audits it.
+///
+/// Findings (reported against the registry file):
+/// * two registered constants sharing a value — the collision the
+///   registry exists to prevent;
+/// * a `*_SEED_NS` constant missing from the `ALL` table, or a table
+///   row naming no constant — the table is what both the lint rule and
+///   the uniqueness unit test read, so drift makes both blind.
+pub fn parse_registry(lexed: &LexedFile) -> (NsRegistry, Vec<RawFinding>) {
+    let mut registry = NsRegistry::default();
+    let mut findings = Vec::new();
+    let tokens: Vec<_> = lexed.tokens.iter().filter(|t| !t.in_test).collect();
+
+    // `const NAME : u64 = <literal> ;`
+    for i in 0..tokens.len() {
+        if tokens[i].text != "const" {
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1) else {
+            continue;
+        };
+        if !name.text.ends_with("_SEED_NS") {
+            continue;
+        }
+        let value = tokens
+            .iter()
+            .skip(i + 2)
+            .take(6)
+            .skip_while(|t| t.text != "=")
+            .nth(1)
+            .and_then(|t| parse_u64_literal(&t.text));
+        let Some(value) = value else {
+            findings.push(RawFinding {
+                line: name.line,
+                rule: Rule::RngNamespace,
+                message: format!(
+                    "registered namespace `{}` must be a plain u64 literal",
+                    name.text
+                ),
+            });
+            continue;
+        };
+        if let Some(prev) = registry.consts.iter().find(|c| c.value == value) {
+            findings.push(RawFinding {
+                line: name.line,
+                rule: Rule::RngNamespace,
+                message: format!(
+                    "namespace `{}` collides with `{}` (both 0x{value:016X}); \
+                     their draw streams would be identical",
+                    name.text, prev.name
+                ),
+            });
+        }
+        registry.consts.push(NsConst {
+            name: name.text.clone(),
+            value,
+            line: name.line,
+        });
+    }
+
+    // The `ALL` table: string rows `("NAME", NAME)`. The lexer strips
+    // string contents, so we match the bare identifier mentions between
+    // the `ALL` declaration and its closing `;`.
+    if let Some(all_pos) = tokens
+        .windows(2)
+        .position(|w| w[0].text == "const" && w[1].text == "ALL")
+    {
+        let mut table_names = Vec::new();
+        for t in tokens.iter().skip(all_pos + 2) {
+            if t.text == ";" {
+                break;
+            }
+            if t.text.ends_with("_SEED_NS") {
+                table_names.push(t.text.clone());
+            }
+        }
+        for c in &registry.consts {
+            if !table_names.contains(&c.name) {
+                findings.push(RawFinding {
+                    line: c.line,
+                    rule: Rule::RngNamespace,
+                    message: format!(
+                        "namespace `{}` is declared but missing from the ALL \
+                         table (the uniqueness test cannot see it)",
+                        c.name
+                    ),
+                });
+            }
+        }
+        for name in &table_names {
+            if !registry.is_registered(name) {
+                if let Some(t) = tokens.iter().find(|t| &t.text == name) {
+                    findings.push(RawFinding {
+                        line: t.line,
+                        rule: Rule::RngNamespace,
+                        message: format!(
+                            "ALL table references `{name}` which is not declared \
+                             in the registry"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    (registry, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const GOOD: &str = "pub const A_SEED_NS: u64 = 0x1111;\n\
+                        pub const B_SEED_NS: u64 = 0x2222;\n\
+                        pub const ALL: &[(&str, u64)] = &[(\"A_SEED_NS\", A_SEED_NS), (\"B_SEED_NS\", B_SEED_NS)];\n";
+
+    #[test]
+    fn clean_registry_parses_without_findings() {
+        let (reg, findings) = parse_registry(&lex(GOOD));
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(reg.consts.len(), 2);
+        assert!(reg.is_registered("A_SEED_NS"));
+        assert!(reg.is_registered("B_SEED_NS"));
+        assert!(!reg.is_registered("C_SEED_NS"));
+        assert_eq!(reg.consts[0].value, 0x1111);
+    }
+
+    #[test]
+    fn value_collision_is_a_finding() {
+        let src = "pub const A_SEED_NS: u64 = 0x1111;\n\
+                   pub const B_SEED_NS: u64 = 0x1111;\n\
+                   pub const ALL: &[(&str, u64)] = &[(\"A_SEED_NS\", A_SEED_NS), (\"B_SEED_NS\", B_SEED_NS)];\n";
+        let (_, findings) = parse_registry(&lex(src));
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.rule == Rule::RngNamespace && f.line == 2),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn constant_missing_from_table_is_a_finding() {
+        let src = "pub const A_SEED_NS: u64 = 0x1111;\n\
+                   pub const B_SEED_NS: u64 = 0x2222;\n\
+                   pub const ALL: &[(&str, u64)] = &[(\"A_SEED_NS\", A_SEED_NS)];\n";
+        let (_, findings) = parse_registry(&lex(src));
+        assert!(
+            findings.iter().any(|f| f.message.contains("B_SEED_NS")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn underscored_hex_literals_parse() {
+        assert_eq!(
+            parse_u64_literal("0xFA17_FA17_FA17_FA17"),
+            Some(0xFA17_FA17_FA17_FA17)
+        );
+        assert_eq!(parse_u64_literal("1_000"), Some(1000));
+        assert_eq!(parse_u64_literal("7u64"), Some(7));
+        assert_eq!(parse_u64_literal("x"), None);
+    }
+
+    #[test]
+    fn real_registry_file_parses_clean() {
+        let src = include_str!("../../sim/src/seed_ns.rs");
+        let (reg, findings) = parse_registry(&lex(src));
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(reg.is_registered("FAULT_PLAN_SEED_NS"));
+        assert!(reg.is_registered("SCENARIO_SEED_NS"));
+    }
+}

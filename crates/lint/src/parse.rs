@@ -1,0 +1,208 @@
+//! A lightweight item parser over the lexed token stream.
+//!
+//! The taint pass needs function granularity: which tokens belong to
+//! which `fn`, and which functions each body calls. Full Rust parsing
+//! is out of scope (and out of dependencies), so this recognizes just
+//! enough structure:
+//!
+//! * `fn name … { body }` — the body is found by brace matching from
+//!   the first `{` after the signature (skipping braces inside
+//!   where-clauses is unnecessary at this codebase's idiom level; a
+//!   `;` before the `{` means a trait-method declaration with no
+//!   body).
+//! * Nested functions produce their own entries; the outer function's
+//!   token range includes the inner tokens. That overlap is a
+//!   deliberate overapproximation — taint in a nested helper also
+//!   taints the enclosing function, which is conservative in the
+//!   right direction.
+//! * Call sites are `ident (` pairs inside a body, excluding keywords
+//!   and definition sites (`fn ident (`). Method calls (`.ident(`) are
+//!   included: resolution is by bare name, so `plan.chance(...)`
+//!   resolves to any `fn chance` in the workspace. Name collisions
+//!   merge call targets, which again errs toward propagating taint.
+//!
+//! All parsing works on the `!in_test` token stream: test-only
+//! functions neither originate nor receive taint.
+
+use crate::lexer::Token;
+
+/// One parsed function with its body's token range (indices into the
+/// filtered token slice handed to [`parse_functions`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword (the signature start — sink
+    /// detection scans from here so parameter/return types count).
+    pub start: usize,
+    /// Token range of the body, including the braces.
+    pub body: std::ops::Range<usize>,
+}
+
+const KEYWORDS: [&str; 22] = [
+    "if", "else", "while", "for", "loop", "match", "return", "fn", "let", "mut", "pub", "use",
+    "mod", "struct", "enum", "impl", "trait", "where", "move", "in", "as", "const",
+];
+
+fn is_ident(s: &str) -> bool {
+    s.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+        && !KEYWORDS.contains(&s)
+}
+
+/// Extracts every `fn` item from a filtered token slice.
+pub fn parse_functions(tokens: &[&Token]) -> Vec<Function> {
+    let mut functions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text != "fn" {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).filter(|t| is_ident(&t.text)) else {
+            i += 1;
+            continue;
+        };
+        // Find the body's opening brace; a `;` first means a bodyless
+        // trait-method declaration.
+        let mut j = i + 2;
+        let mut body = None;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                ";" => break,
+                "{" => {
+                    let mut depth = 0usize;
+                    let start = j;
+                    while j < tokens.len() {
+                        match tokens[j].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    // Unterminated body: runs to end of file.
+                    body = Some(start..(j + 1).min(tokens.len()));
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        if let Some(body) = body {
+            functions.push(Function {
+                name: name.text.clone(),
+                line: tokens[i].line,
+                start: i,
+                body,
+            });
+        }
+        // Continue scanning from just inside the signature so nested
+        // fns get their own entries.
+        i += 2;
+    }
+    functions
+}
+
+/// Call sites within a token range: `(name, line)` for every `ident (`
+/// pair, excluding keywords and `fn ident (` definition sites.
+pub fn calls_in(tokens: &[&Token], range: std::ops::Range<usize>) -> Vec<(String, u32)> {
+    let mut calls = Vec::new();
+    let end = range.end.min(tokens.len());
+    for i in range.start..end.saturating_sub(1) {
+        let t = tokens[i];
+        if !is_ident(&t.text) {
+            continue;
+        }
+        if tokens[i + 1].text != "(" {
+            continue;
+        }
+        if i > 0 && tokens[i - 1].text == "fn" {
+            continue;
+        }
+        calls.push((t.text.clone(), t.line));
+    }
+    calls.sort();
+    calls.dedup();
+    calls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn funcs(src: &str) -> Vec<Function> {
+        let lexed = lex(src);
+        let tokens: Vec<&Token> = lexed.tokens.iter().filter(|t| !t.in_test).collect();
+        parse_functions(&tokens)
+    }
+
+    #[test]
+    fn simple_function_is_parsed() {
+        let f = funcs("fn alpha() -> u32 { 1 + 2 }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "alpha");
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn nested_functions_both_appear() {
+        let f = funcs("fn outer() {\n  fn inner() { 1 }\n  inner()\n}");
+        let names: Vec<_> = f.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"outer"), "{names:?}");
+        assert!(names.contains(&"inner"), "{names:?}");
+    }
+
+    #[test]
+    fn trait_method_declaration_has_no_body() {
+        let f = funcs("trait T { fn req(&self) -> u32; fn given(&self) -> u32 { 7 } }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "given");
+    }
+
+    #[test]
+    fn unterminated_body_runs_to_eof() {
+        let f = funcs("fn broken() { let x = 1;");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "broken");
+    }
+
+    #[test]
+    fn calls_are_extracted_by_bare_name() {
+        let lexed = lex("fn a() { b(); c.d(); if x { e() } f }");
+        let tokens: Vec<&Token> = lexed.tokens.iter().filter(|t| !t.in_test).collect();
+        let fns = parse_functions(&tokens);
+        let calls: Vec<String> = calls_in(&tokens, fns[0].body.clone())
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(calls, vec!["b", "d", "e"]);
+    }
+
+    #[test]
+    fn definition_sites_are_not_calls() {
+        let lexed = lex("fn a() { fn b() {} b() }");
+        let tokens: Vec<&Token> = lexed.tokens.iter().filter(|t| !t.in_test).collect();
+        let fns = parse_functions(&tokens);
+        let a = fns.iter().find(|f| f.name == "a").unwrap();
+        let calls: Vec<String> = calls_in(&tokens, a.body.clone())
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(calls, vec!["b"]);
+    }
+
+    #[test]
+    fn generic_and_where_signatures_parse() {
+        let f = funcs("fn g<T: Clone>(x: T) -> T where T: Copy { x }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "g");
+    }
+}

@@ -1,4 +1,4 @@
-//! The four determinism rules.
+//! The determinism rules.
 //!
 //! Every simulated host must be bit-reproducible from `(seed,
 //! host_index, tick)` alone — the contract the seed-stability and
@@ -19,17 +19,47 @@
 //! * [`Rule::UnwrapInFaultPath`] — `unwrap()`/`expect()` in the fault
 //!   layer, whose whole point (PR 2) is graceful degradation through
 //!   `Option`/outcome variants rather than panics.
+//!
+//! The v2 rules work on the interprocedural IR ([`crate::parse`],
+//! [`crate::taint`]) and the seed-namespace registry ([`crate::ns`]):
+//!
+//! * [`Rule::DeterminismTaint`] — a nondeterminism *source* (ambient
+//!   clock/entropy, env read, `available_parallelism`, thread id,
+//!   hash-ordered iteration, atomic load) whose value can reach
+//!   deterministic output (`FleetSummary`, `ExperimentOutput` /
+//!   golden stdout, bench sample values) through any chain of calls,
+//!   even when laundered through helper functions.
+//! * [`Rule::RngNamespace`] — every seed-namespace constant must live
+//!   in the `tmo_sim::seed_ns` registry (collisions silently correlate
+//!   supposedly independent draw streams), and seed derivations must
+//!   not XOR in raw literals or unregistered `*_SEED_NS` identifiers.
+//! * [`Rule::AtomicOrdering`] — atomics are scheduling-sensitive
+//!   shared state; the only documented site is the shard-claim cursor
+//!   in `crates/core/src/runner.rs` (`AtomicUsize::fetch_add` with
+//!   `Ordering::Relaxed`). Anything else, or any drift from that
+//!   documented protocol, is a finding.
+//! * [`Rule::StaleAllow`] — an `// lint: allow(...)` whose target line
+//!   no longer trips its rule (and kills no taint source) is itself an
+//!   error, so `scripts/golden/lint_clean.txt` stays an honest
+//!   inventory of real escape hatches.
 
 use crate::lexer::{LexedFile, Token};
+use crate::ns::NsRegistry;
 
 /// Rule identifiers. [`Rule::BadAnnotation`] is the meta-rule: a
 /// malformed or unjustified `// lint: allow(...)` escape hatch.
+/// [`Rule::StaleAllow`] is the other meta-rule: an escape hatch that
+/// suppresses nothing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     HashIter,
     WallClock,
     FloatReduction,
     UnwrapInFaultPath,
+    DeterminismTaint,
+    RngNamespace,
+    AtomicOrdering,
+    StaleAllow,
     BadAnnotation,
 }
 
@@ -41,16 +71,38 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::FloatReduction => "float-reduction",
             Rule::UnwrapInFaultPath => "unwrap-in-fault-path",
+            Rule::DeterminismTaint => "determinism-taint",
+            Rule::RngNamespace => "rng-namespace",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::StaleAllow => "stale-allow",
             Rule::BadAnnotation => "bad-annotation",
         }
     }
 
-    /// All annotatable rules (everything except the meta-rule).
-    pub const ALLOWABLE: [Rule; 4] = [
+    /// All annotatable rules (everything except the meta-rules: a
+    /// malformed annotation cannot be allowed, and a stale allow is
+    /// fixed by deleting it, not by allowing the allow).
+    pub const ALLOWABLE: [Rule; 7] = [
         Rule::HashIter,
         Rule::WallClock,
         Rule::FloatReduction,
         Rule::UnwrapInFaultPath,
+        Rule::DeterminismTaint,
+        Rule::RngNamespace,
+        Rule::AtomicOrdering,
+    ];
+
+    /// Every rule, for machine-readable output.
+    pub const ALL: [Rule; 9] = [
+        Rule::HashIter,
+        Rule::WallClock,
+        Rule::FloatReduction,
+        Rule::UnwrapInFaultPath,
+        Rule::DeterminismTaint,
+        Rule::RngNamespace,
+        Rule::AtomicOrdering,
+        Rule::StaleAllow,
+        Rule::BadAnnotation,
     ];
 
     /// Parses an `allow(...)` id.
@@ -77,6 +129,25 @@ impl Rule {
                 "fault paths degrade gracefully: return the Option/outcome \
                  variant instead of panicking"
             }
+            Rule::DeterminismTaint => {
+                "keep ambient values out of FleetSummary/stdout/bench samples; \
+                 derive from (seed, host_index, tick), or annotate the source \
+                 or the sink with `// lint: allow(determinism-taint) <why>`"
+            }
+            Rule::RngNamespace => {
+                "register the namespace constant in tmo_sim::seed_ns (one \
+                 table, uniqueness-tested) and XOR the registered *_SEED_NS \
+                 constant into the seed derivation"
+            }
+            Rule::AtomicOrdering => {
+                "sim code is single-threaded per host; only the runner.rs \
+                 shard cursor may use atomics (AtomicUsize::fetch_add with \
+                 the documented Ordering::Relaxed)"
+            }
+            Rule::StaleAllow => {
+                "the annotated line no longer trips this rule; delete the \
+                 stale `// lint: allow(...)` so the inventory stays honest"
+            }
             Rule::BadAnnotation => {
                 "write `// lint: allow(<rule-id>) <justification>` with a known \
                  rule id and a non-empty justification"
@@ -101,6 +172,16 @@ pub struct RuleSet {
     pub wall_clock: bool,
     pub float_reduction: bool,
     pub unwrap_in_fault_path: bool,
+    /// Interprocedural determinism-taint pass (sources anywhere in the
+    /// file can taint callers in any other in-scope file).
+    pub taint: bool,
+    /// Seed-namespace registry enforcement.
+    pub rng_namespace: bool,
+    /// Atomics ban.
+    pub atomic_ordering: bool,
+    /// The one file allowed its documented cursor protocol
+    /// (`crates/core/src/runner.rs`).
+    pub atomic_cursor_exempt: bool,
 }
 
 impl RuleSet {
@@ -111,6 +192,10 @@ impl RuleSet {
             wall_clock: true,
             float_reduction: true,
             unwrap_in_fault_path: true,
+            taint: true,
+            rng_namespace: true,
+            atomic_ordering: true,
+            atomic_cursor_exempt: false,
         }
     }
 
@@ -119,12 +204,14 @@ impl RuleSet {
     }
 }
 
-const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
-const ITER_METHODS: [&str; 4] = ["iter", "iter_mut", "values", "keys"];
+pub(crate) const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+pub(crate) const ITER_METHODS: [&str; 4] = ["iter", "iter_mut", "values", "keys"];
 const REDUCERS: [&str; 3] = ["sum", "fold", "product"];
 
-/// Runs the enabled rules over one lexed file.
-pub fn check(lexed: &LexedFile, rules: RuleSet) -> Vec<RawFinding> {
+/// Runs the enabled *per-file* rules over one lexed file. The
+/// interprocedural taint pass and the stale-allow audit run at the
+/// workspace level in [`crate::analyze_sources`].
+pub fn check(lexed: &LexedFile, rules: RuleSet, registry: Option<&NsRegistry>) -> Vec<RawFinding> {
     let mut findings = Vec::new();
     let tokens: Vec<&Token> = lexed.tokens.iter().filter(|t| !t.in_test).collect();
 
@@ -142,6 +229,12 @@ pub fn check(lexed: &LexedFile, rules: RuleSet) -> Vec<RawFinding> {
     if rules.unwrap_in_fault_path {
         unwrap_in_fault_path(&tokens, &mut findings);
     }
+    if rules.rng_namespace {
+        rng_namespace(&tokens, registry, &mut findings);
+    }
+    if rules.atomic_ordering {
+        atomic_ordering(&tokens, rules.atomic_cursor_exempt, &mut findings);
+    }
 
     findings.sort_by_key(|f| (f.line, f.rule));
     findings.dedup_by_key(|f| (f.line, f.rule));
@@ -151,7 +244,7 @@ pub fn check(lexed: &LexedFile, rules: RuleSet) -> Vec<RawFinding> {
 /// Identifiers declared with a hash-ordered type in this file: either a
 /// field/binding type annotation (`name: HashMap<..>`) or a constructor
 /// binding (`let name = HashMap::new()` / `with_capacity`).
-fn declared_hash_idents(tokens: &[&Token]) -> Vec<String> {
+pub(crate) fn declared_hash_idents(tokens: &[&Token]) -> Vec<String> {
     let mut names = Vec::new();
     for w in tokens.windows(3) {
         let [a, b, c] = w else { continue };
@@ -167,7 +260,7 @@ fn declared_hash_idents(tokens: &[&Token]) -> Vec<String> {
     names
 }
 
-fn is_ident(s: &str) -> bool {
+pub(crate) fn is_ident(s: &str) -> bool {
     s.chars()
         .next()
         .is_some_and(|c| c.is_alphabetic() || c == '_')
@@ -175,7 +268,7 @@ fn is_ident(s: &str) -> bool {
 
 /// Rule 1: any mention of a hash-ordered collection type, plus explicit
 /// iteration over an identifier declared with one.
-fn hash_iter(tokens: &[&Token], hash_idents: &[String], findings: &mut Vec<RawFinding>) {
+pub(crate) fn hash_iter(tokens: &[&Token], hash_idents: &[String], findings: &mut Vec<RawFinding>) {
     for t in tokens {
         if HASH_TYPES.contains(&t.text.as_str()) {
             findings.push(RawFinding {
@@ -234,17 +327,17 @@ fn hash_iter(tokens: &[&Token], hash_idents: &[String], findings: &mut Vec<RawFi
 
 /// Wall-clock / ambient-entropy constructors. `(A, B)` means the token
 /// sequence `A :: B`; a bare name matches a lone identifier.
-const CLOCK_PATHS: [(&str, &str); 5] = [
+pub(crate) const CLOCK_PATHS: [(&str, &str); 5] = [
     ("Instant", "now"),
     ("SystemTime", "now"),
     ("Utc", "now"),
     ("Local", "now"),
     ("rand", "random"),
 ];
-const CLOCK_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "OsRng"];
+pub(crate) const CLOCK_IDENTS: [&str; 3] = ["thread_rng", "from_entropy", "OsRng"];
 
 /// Rule 2: ambient time or entropy.
-fn wall_clock(tokens: &[&Token], findings: &mut Vec<RawFinding>) {
+pub(crate) fn wall_clock(tokens: &[&Token], findings: &mut Vec<RawFinding>) {
     for i in 0..tokens.len() {
         let t = tokens[i];
         for (ty, method) in CLOCK_PATHS {
@@ -323,13 +416,207 @@ fn unwrap_in_fault_path(tokens: &[&Token], findings: &mut Vec<RawFinding>) {
     }
 }
 
+/// The seed-derivation entry points whose arguments the rng-namespace
+/// rule inspects. `FaultPlan::new` is matched as `FaultPlan :: new (`;
+/// the other two as bare `name (` calls (possibly path-qualified, which
+/// still ends with `name (`).
+const SEED_DERIVATIONS: [&str; 3] = ["new", "derive_host_seed", "seed_from_u64"];
+
+/// Rule 5 (per-file half): seed-namespace hygiene at use sites.
+///
+/// * a `const *_SEED_NS` declared outside the registry file;
+/// * a raw literal XORed into a seed-derivation argument;
+/// * an unregistered `*_SEED_NS` identifier in a seed-derivation
+///   argument (when the registry is available — the workspace walk
+///   always provides it).
+///
+/// Registry-internal findings (value collisions, table drift) are
+/// produced by [`crate::ns::parse_registry`].
+fn rng_namespace(tokens: &[&Token], registry: Option<&NsRegistry>, findings: &mut Vec<RawFinding>) {
+    // Half 1: stray namespace constants. The registry file itself is
+    // analyzed through `parse_registry`, never through this path.
+    for i in 0..tokens.len() {
+        if tokens[i].text == "const"
+            && tokens
+                .get(i + 1)
+                .is_some_and(|n| n.text.ends_with("_SEED_NS"))
+        {
+            findings.push(RawFinding {
+                line: tokens[i + 1].line,
+                rule: Rule::RngNamespace,
+                message: format!(
+                    "seed-namespace constant `{}` declared outside the \
+                     tmo_sim::seed_ns registry",
+                    tokens[i + 1].text
+                ),
+            });
+        }
+    }
+
+    // Half 2: seed-derivation arguments.
+    for i in 0..tokens.len() {
+        let t = tokens[i];
+        if !SEED_DERIVATIONS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // `new` only counts as a seed derivation when called as
+        // `FaultPlan::new`; the other names count bare or qualified.
+        if t.text == "new"
+            && !(i >= 2 && tokens[i - 1].text == "::" && tokens[i - 2].text == "FaultPlan")
+        {
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1).filter(|p| p.text == "(") else {
+            continue;
+        };
+        let _ = open;
+        // Paren-match the argument run.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let start = j + 1;
+        while j < tokens.len() {
+            match tokens[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let args = &tokens[start..j.min(tokens.len())];
+        for (k, a) in args.iter().enumerate() {
+            if a.text == "^" {
+                for neighbor in [k.wrapping_sub(1), k + 1] {
+                    if let Some(n) = args.get(neighbor) {
+                        if n.text.starts_with(|c: char| c.is_ascii_digit()) {
+                            findings.push(RawFinding {
+                                line: n.line,
+                                rule: Rule::RngNamespace,
+                                message: format!(
+                                    "raw seed-namespace literal `{}` in `{}`; use a \
+                                     registered *_SEED_NS constant from tmo_sim::seed_ns",
+                                    n.text, t.text
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+            if a.text.ends_with("_SEED_NS") && !registry.is_some_and(|r| r.is_registered(&a.text)) {
+                findings.push(RawFinding {
+                    line: a.line,
+                    rule: Rule::RngNamespace,
+                    message: format!(
+                        "seed namespace `{}` is not registered in tmo_sim::seed_ns",
+                        a.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+pub(crate) const ATOMIC_TYPES: [&str; 12] = [
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+];
+pub(crate) const MEMORY_ORDERINGS: [&str; 5] =
+    ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Whether the `Ordering :: <ord>` at token `i` belongs to the
+/// documented shard-cursor claim: `fetch_add ( <expr> , Ordering ::
+/// Relaxed )`. Scans a few tokens back for the `fetch_add`.
+fn is_cursor_claim(tokens: &[&Token], i: usize, ord: &str) -> bool {
+    if ord != "Relaxed" {
+        return false;
+    }
+    let lo = i.saturating_sub(6);
+    tokens[lo..i].iter().any(|t| t.text == "fetch_add")
+}
+
+/// Rule 6: atomics outside the documented shard cursor.
+///
+/// Sim code is single-threaded per host; shared mutable state with
+/// scheduling-dependent visibility has no business in it. The one
+/// exception is the fleet runner's shard-claim cursor
+/// (`AtomicUsize::fetch_add(1, Ordering::Relaxed)`), whose claim order
+/// is explicitly allowed to be nondeterministic because the shard merge
+/// restores index order.
+fn atomic_ordering(tokens: &[&Token], cursor_exempt: bool, findings: &mut Vec<RawFinding>) {
+    for i in 0..tokens.len() {
+        let t = tokens[i];
+        if ATOMIC_TYPES.contains(&t.text.as_str()) {
+            if !cursor_exempt {
+                findings.push(RawFinding {
+                    line: t.line,
+                    rule: Rule::AtomicOrdering,
+                    message: format!(
+                        "atomic shared state `{}` outside the runner.rs shard cursor",
+                        t.text
+                    ),
+                });
+            } else if t.text != "AtomicUsize" {
+                findings.push(RawFinding {
+                    line: t.line,
+                    rule: Rule::AtomicOrdering,
+                    message: format!(
+                        "`{}` is not the documented AtomicUsize shard cursor",
+                        t.text
+                    ),
+                });
+            }
+        }
+        if t.text == "Ordering"
+            && tokens.get(i + 1).is_some_and(|p| p.text == "::")
+            && tokens
+                .get(i + 2)
+                .is_some_and(|o| MEMORY_ORDERINGS.contains(&o.text.as_str()))
+        {
+            let ord = tokens[i + 2].text.as_str();
+            if !cursor_exempt {
+                findings.push(RawFinding {
+                    line: t.line,
+                    rule: Rule::AtomicOrdering,
+                    message: format!(
+                        "atomic memory ordering `Ordering::{ord}` outside the \
+                         runner.rs shard cursor"
+                    ),
+                });
+            } else if !is_cursor_claim(tokens, i, ord) {
+                findings.push(RawFinding {
+                    line: t.line,
+                    rule: Rule::AtomicOrdering,
+                    message: format!(
+                        "`Ordering::{ord}` drifts from the documented cursor \
+                         protocol (fetch_add with Ordering::Relaxed)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::lexer::lex;
 
     fn run(src: &str) -> Vec<RawFinding> {
-        check(&lex(src), RuleSet::all())
+        check(&lex(src), RuleSet::all(), None)
     }
 
     #[test]
@@ -388,6 +675,81 @@ mod tests {
     #[test]
     fn test_code_is_exempt() {
         let f = run("#[cfg(test)]\nmod tests {\n fn t() { let m = HashMap::new(); }\n}");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stray_seed_ns_const_is_flagged() {
+        let f = run("const MY_SEED_NS: u64 = 0x1234;\n");
+        assert!(
+            f.iter()
+                .any(|x| x.rule == Rule::RngNamespace && x.line == 1),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn raw_literal_xor_in_seed_derivation_is_flagged() {
+        let f = run("fn f(seed: u64) -> u64 { derive_host_seed(seed ^ 0xABCD, 3) }");
+        assert!(f.iter().any(|x| x.rule == Rule::RngNamespace), "{f:?}");
+    }
+
+    #[test]
+    fn unregistered_namespace_without_registry_is_flagged() {
+        let f = run("fn f(seed: u64) { FaultPlan::new(seed ^ GHOST_SEED_NS, 1); }");
+        assert!(f.iter().any(|x| x.rule == Rule::RngNamespace), "{f:?}");
+    }
+
+    #[test]
+    fn plain_faultplan_new_without_namespace_is_clean() {
+        // Namespacing happens inside FaultPlan::new itself; a raw seed
+        // argument is the documented calling convention.
+        let f = run("fn f(seed: u64) { FaultPlan::new(seed, 0); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn other_new_calls_are_not_seed_derivations() {
+        let f = run("fn f() { let v = Vec::new(); let r = FleetRunner::new(4 ^ 1); }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn atomics_outside_cursor_are_flagged() {
+        let f = run(
+            "use std::sync::atomic::AtomicU64;\nfn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }",
+        );
+        assert!(
+            f.iter().filter(|x| x.rule == Rule::AtomicOrdering).count() >= 2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn cursor_claim_protocol_is_exempt_in_runner() {
+        let mut rules = RuleSet::all();
+        rules.atomic_cursor_exempt = true;
+        let src = "fn f(next: &AtomicUsize) -> usize { next.fetch_add(1, Ordering::Relaxed) }";
+        let f = check(&lex(src), rules, None);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn cursor_protocol_drift_is_flagged_in_runner() {
+        let mut rules = RuleSet::all();
+        rules.atomic_cursor_exempt = true;
+        let src = "fn f(next: &AtomicUsize) -> usize {\n next.fetch_add(1, Ordering::SeqCst);\n next.load(Ordering::Relaxed)\n}";
+        let f = check(&lex(src), rules, None);
+        assert_eq!(
+            f.iter().filter(|x| x.rule == Rule::AtomicOrdering).count(),
+            2,
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_an_atomic_finding() {
+        let f = run("fn f(a: u32, b: u32) -> Ordering { a.cmp(&b) }");
         assert!(f.is_empty(), "{f:?}");
     }
 }

@@ -1,0 +1,501 @@
+//! The interprocedural determinism-taint pass.
+//!
+//! A *source* is an expression whose value depends on ambient machine
+//! state rather than `(seed, host_index, tick)`: wall-clock reads,
+//! OS entropy, environment variables, `available_parallelism`, thread
+//! identity, hash-ordered iteration, atomic loads outside the
+//! documented shard cursor. A *sink* is a function that can shape
+//! deterministic output: anything mentioning `FleetSummary`,
+//! `ExperimentOutput` (golden stdout) or `BenchReport` (tmo-bench-v1
+//! sample values), or expanding `println!`/`print!` (stdout is golden;
+//! stderr is the sanctioned side channel and is *not* a sink).
+//!
+//! Taint is tracked at function granularity over a name-resolved call
+//! graph: a function is tainted if it contains a live source or calls
+//! a tainted function, so laundering a wall-clock read through a
+//! helper (`fn stamp() -> u64 { Instant::now()... }` called from a
+//! summary formatter) is caught exactly like a direct read. Name
+//! resolution is by bare identifier and merges collisions — a call to
+//! `new` resolves to every workspace `fn new` — which overapproximates
+//! in the conservative direction and costs nothing once the live
+//! source set is empty.
+//!
+//! The escape hatch is honored at either end: an allow on the source
+//! line (`wall-clock`, `hash-iter`, `atomic-ordering`, or
+//! `determinism-taint`, matching the source's kind) kills the source
+//! before propagation, and an allow(determinism-taint) on the sink
+//! finding's line suppresses the report. Source kills are recorded so
+//! the stale-allow audit knows the annotation is earning its keep.
+//!
+//! The fixpoint is monotone (a function's taint is set once, never
+//! revised), so it terminates on cyclic call graphs in at most one
+//! pass per function.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::Token;
+use crate::parse::{calls_in, parse_functions};
+use crate::rules::{
+    declared_hash_idents, RawFinding, Rule, RuleSet, ATOMIC_TYPES, CLOCK_IDENTS, CLOCK_PATHS,
+    ITER_METHODS, MEMORY_ORDERINGS,
+};
+
+/// Idents that mark a function as reaching deterministic output.
+const SINK_IDENTS: [&str; 3] = ["FleetSummary", "ExperimentOutput", "BenchReport"];
+/// Macros whose expansion writes stdout (stderr via `eprintln!` is the
+/// sanctioned nondeterministic side channel and is deliberately absent).
+const SINK_MACROS: [&str; 2] = ["println", "print"];
+
+/// One file's inputs to the workspace taint pass.
+pub struct TaintFile<'a> {
+    pub rel: &'a str,
+    /// The `!in_test` token stream.
+    pub tokens: &'a [&'a Token],
+    pub rules: RuleSet,
+    /// Resolved allow annotations: `(rule, target line)`.
+    pub suppressed: &'a [(Rule, u32)],
+}
+
+/// Result: raw findings tagged with their file index, plus which
+/// suppression entries were consumed killing sources (for the
+/// stale-allow audit).
+#[derive(Debug, Default)]
+pub struct TaintOutcome {
+    pub findings: Vec<(usize, RawFinding)>,
+    pub used_kills: BTreeSet<(usize, Rule, u32)>,
+}
+
+/// A nondeterminism source found in a function body.
+#[derive(Debug, Clone)]
+struct Source {
+    line: u32,
+    /// Allow rules that kill this source at its line.
+    killers: &'static [Rule],
+    desc: String,
+}
+
+const CLOCK_KILLERS: &[Rule] = &[Rule::WallClock, Rule::DeterminismTaint];
+const HASH_KILLERS: &[Rule] = &[Rule::HashIter, Rule::DeterminismTaint];
+const ATOMIC_KILLERS: &[Rule] = &[Rule::AtomicOrdering, Rule::DeterminismTaint];
+const AMBIENT_KILLERS: &[Rule] = &[Rule::DeterminismTaint];
+
+const ENV_READS: [&str; 3] = ["var", "var_os", "vars"];
+
+/// Scans a token stream for nondeterminism sources, returning
+/// `(token index, source)` pairs so callers can map them to enclosing
+/// functions.
+fn find_sources(tokens: &[&Token], cursor_exempt: bool) -> Vec<(usize, Source)> {
+    let mut sources = Vec::new();
+    let hash_idents = declared_hash_idents(tokens);
+    for i in 0..tokens.len() {
+        let t = tokens[i];
+        let path2 = |a: usize| -> Option<&str> {
+            (tokens.get(i + 1)?.text == "::").then(|| tokens.get(i + a).map(|t| t.text.as_str()))?
+        };
+        // Ambient clock / entropy.
+        for (ty, method) in CLOCK_PATHS {
+            if t.text == ty && path2(2) == Some(method) {
+                sources.push((
+                    i,
+                    Source {
+                        line: t.line,
+                        killers: CLOCK_KILLERS,
+                        desc: format!("wall-clock/entropy read `{ty}::{method}`"),
+                    },
+                ));
+            }
+        }
+        if CLOCK_IDENTS.contains(&t.text.as_str()) {
+            sources.push((
+                i,
+                Source {
+                    line: t.line,
+                    killers: CLOCK_KILLERS,
+                    desc: format!("ambient entropy source `{}`", t.text),
+                },
+            ));
+        }
+        // Environment reads.
+        if t.text == "env" && path2(2).is_some_and(|m| ENV_READS.contains(&m)) {
+            sources.push((
+                i,
+                Source {
+                    line: t.line,
+                    killers: AMBIENT_KILLERS,
+                    desc: format!("environment read `env::{}`", tokens[i + 2].text),
+                },
+            ));
+        }
+        // Host shape and thread identity.
+        if t.text == "available_parallelism" {
+            sources.push((
+                i,
+                Source {
+                    line: t.line,
+                    killers: AMBIENT_KILLERS,
+                    desc: "host-shape read `available_parallelism`".to_string(),
+                },
+            ));
+        }
+        if (t.text == "thread" && path2(2) == Some("current"))
+            || t.text == "ThreadId"
+            || (t.text == "process" && path2(2) == Some("id"))
+        {
+            sources.push((
+                i,
+                Source {
+                    line: t.line,
+                    killers: AMBIENT_KILLERS,
+                    desc: "thread/process identity read".to_string(),
+                },
+            ));
+        }
+        // Hash-ordered iteration over a declared hash ident.
+        if hash_idents.contains(&t.text)
+            && tokens.get(i + 1).is_some_and(|d| d.text == ".")
+            && tokens
+                .get(i + 2)
+                .is_some_and(|m| ITER_METHODS.contains(&m.text.as_str()))
+        {
+            sources.push((
+                i,
+                Source {
+                    line: tokens[i + 2].line,
+                    killers: HASH_KILLERS,
+                    desc: format!(
+                        "hash-ordered iteration `{}.{}()`",
+                        t.text,
+                        tokens[i + 2].text
+                    ),
+                },
+            ));
+        }
+        // Atomic accesses outside the documented cursor claim.
+        if t.text == "Ordering"
+            && tokens.get(i + 1).is_some_and(|p| p.text == "::")
+            && tokens
+                .get(i + 2)
+                .is_some_and(|o| MEMORY_ORDERINGS.contains(&o.text.as_str()))
+        {
+            let ord = tokens[i + 2].text.as_str();
+            let lo = i.saturating_sub(6);
+            let is_cursor_claim =
+                ord == "Relaxed" && tokens[lo..i].iter().any(|t| t.text == "fetch_add");
+            if !(cursor_exempt && is_cursor_claim) {
+                sources.push((
+                    i,
+                    Source {
+                        line: t.line,
+                        killers: ATOMIC_KILLERS,
+                        desc: format!("atomic access with `Ordering::{ord}`"),
+                    },
+                ));
+            }
+        }
+    }
+    let _ = ATOMIC_TYPES; // type mentions alone carry no value; orderings do
+    sources
+}
+
+struct FnNode {
+    file: usize,
+    name: String,
+    sources: Vec<Source>,
+    is_sink: bool,
+    calls: Vec<(String, u32)>,
+}
+
+#[derive(Debug, Clone)]
+struct Origin {
+    file: usize,
+    line: u32,
+    desc: String,
+}
+
+/// Runs the taint pass over the workspace's in-scope files.
+pub fn run(files: &[TaintFile]) -> TaintOutcome {
+    let mut outcome = TaintOutcome::default();
+    let mut nodes: Vec<FnNode> = Vec::new();
+
+    for (fi, file) in files.iter().enumerate() {
+        if !file.rules.taint {
+            continue;
+        }
+        let all_sources = find_sources(file.tokens, file.rules.atomic_cursor_exempt);
+        let functions = parse_functions(file.tokens);
+        for f in &functions {
+            let mut live = Vec::new();
+            for (ti, s) in &all_sources {
+                if !f.body.contains(ti) {
+                    continue;
+                }
+                let kill = s
+                    .killers
+                    .iter()
+                    .find(|k| file.suppressed.contains(&(**k, s.line)));
+                if let Some(k) = kill {
+                    outcome.used_kills.insert((fi, *k, s.line));
+                } else {
+                    live.push(s.clone());
+                }
+            }
+            // Sink detection spans the signature too, so a formatter
+            // taking `&FleetSummary` counts even if its body never
+            // names the type.
+            let span = &file.tokens[f.start..f.body.end.min(file.tokens.len())];
+            let is_sink = span.iter().enumerate().any(|(k, t)| {
+                SINK_IDENTS.contains(&t.text.as_str())
+                    || (SINK_MACROS.contains(&t.text.as_str())
+                        && span.get(k + 1).is_some_and(|n| n.text == "!"))
+            });
+            nodes.push(FnNode {
+                file: fi,
+                name: f.name.clone(),
+                sources: live,
+                is_sink,
+                calls: calls_in(file.tokens, f.body.clone()),
+            });
+        }
+    }
+
+    // Name-resolved call graph: bare name → defining nodes.
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (ni, n) in nodes.iter().enumerate() {
+        by_name.entry(&n.name).or_default().push(ni);
+    }
+
+    // Monotone fixpoint: taint is set once per function, so cycles in
+    // the call graph converge in at most `nodes.len()` sweeps.
+    let mut taint: Vec<Option<Origin>> = nodes
+        .iter()
+        .map(|n| {
+            n.sources.first().map(|s| Origin {
+                file: n.file,
+                line: s.line,
+                desc: s.desc.clone(),
+            })
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for ni in 0..nodes.len() {
+            if taint[ni].is_some() {
+                continue;
+            }
+            let origin = nodes[ni].calls.iter().find_map(|(callee, _)| {
+                by_name
+                    .get(callee.as_str())?
+                    .iter()
+                    .find_map(|&ci| taint[ci].clone())
+            });
+            if let Some(origin) = origin {
+                taint[ni] = Some(origin);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Report at the sinks.
+    for node in nodes.iter().filter(|n| n.is_sink) {
+        for s in &node.sources {
+            outcome.findings.push((
+                node.file,
+                RawFinding {
+                    line: s.line,
+                    rule: Rule::DeterminismTaint,
+                    message: format!(
+                        "{} can reach deterministic output in `{}`",
+                        s.desc, node.name
+                    ),
+                },
+            ));
+        }
+        for (callee, line) in &node.calls {
+            let tainted = by_name
+                .get(callee.as_str())
+                .into_iter()
+                .flatten()
+                .find_map(|&ci| taint[ci].clone());
+            let Some(origin) = tainted else { continue };
+            outcome.findings.push((
+                node.file,
+                RawFinding {
+                    line: *line,
+                    rule: Rule::DeterminismTaint,
+                    message: format!(
+                        "call to `{}` carries nondeterminism from {}:{} ({}) into \
+                         deterministic output in `{}`",
+                        callee, files[origin.file].rel, origin.line, origin.desc, node.name
+                    ),
+                },
+            ));
+        }
+    }
+    outcome
+        .findings
+        .sort_by(|a, b| (a.0, a.1.line, &a.1.message).cmp(&(b.0, b.1.line, &b.1.message)));
+    outcome
+        .findings
+        .dedup_by(|a, b| (a.0, a.1.line) == (b.0, b.1.line));
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run_single(src: &str) -> TaintOutcome {
+        run_single_with(src, &[])
+    }
+
+    fn run_single_with(src: &str, suppressed: &[(Rule, u32)]) -> TaintOutcome {
+        let lexed = lex(src);
+        let tokens: Vec<&Token> = lexed.tokens.iter().filter(|t| !t.in_test).collect();
+        let files = [TaintFile {
+            rel: "x.rs",
+            tokens: &tokens,
+            rules: RuleSet::all(),
+            suppressed,
+        }];
+        run(&files)
+    }
+
+    #[test]
+    fn direct_source_in_sink_is_reported_at_the_source() {
+        let o = run_single(
+            "fn render(s: &FleetSummary) {\n let t = Instant::now();\n println!(\"{t:?}\");\n}",
+        );
+        assert_eq!(o.findings.len(), 1, "{:?}", o.findings);
+        assert_eq!(o.findings[0].1.line, 2);
+    }
+
+    #[test]
+    fn laundered_source_is_reported_at_the_call() {
+        let o = run_single(
+            "fn stamp() -> u64 { let t = Instant::now(); 0 }\n\
+             fn render(s: &FleetSummary) {\n let x = stamp();\n}",
+        );
+        assert_eq!(o.findings.len(), 1, "{:?}", o.findings);
+        assert_eq!(o.findings[0].1.line, 3);
+        assert!(o.findings[0].1.message.contains("x.rs:1"));
+    }
+
+    #[test]
+    fn two_hop_laundering_is_still_caught() {
+        let o = run_single(
+            "fn a() -> u64 { let t = Instant::now(); 0 }\n\
+             fn b() -> u64 { a() }\n\
+             fn render() { println!(\"{}\", b()); }",
+        );
+        assert_eq!(o.findings.len(), 1, "{:?}", o.findings);
+        assert_eq!(o.findings[0].1.line, 3);
+    }
+
+    #[test]
+    fn source_without_a_sink_is_silent() {
+        let o = run_single("fn helper() -> u64 { let t = Instant::now(); 0 }");
+        assert!(o.findings.is_empty(), "{:?}", o.findings);
+    }
+
+    #[test]
+    fn eprintln_is_not_a_sink() {
+        let o = run_single("fn log() { let t = Instant::now(); eprintln!(\"{t:?}\"); }");
+        assert!(o.findings.is_empty(), "{:?}", o.findings);
+    }
+
+    #[test]
+    fn allow_at_the_source_kills_propagation_and_is_recorded() {
+        let src = "fn stamp() -> u64 { let t = Instant::now(); 0 }\n\
+                   fn render(s: &FleetSummary) { let x = stamp(); }";
+        let o = run_single_with(src, &[(Rule::WallClock, 1)]);
+        assert!(o.findings.is_empty(), "{:?}", o.findings);
+        assert!(o.used_kills.contains(&(0, Rule::WallClock, 1)));
+    }
+
+    #[test]
+    fn cyclic_call_graph_terminates_and_reports() {
+        let o = run_single(
+            "fn a() { b(); let t = Instant::now(); }\n\
+             fn b() { a() }\n\
+             fn render(s: &FleetSummary) { b(); }",
+        );
+        assert_eq!(o.findings.len(), 1, "{:?}", o.findings);
+        assert_eq!(o.findings[0].1.line, 3);
+    }
+
+    #[test]
+    fn cross_file_laundering_is_caught() {
+        let helper = lex("pub fn stamp() -> u64 { let t = Instant::now(); 0 }");
+        let sink = lex("fn render(s: &FleetSummary) {\n let x = stamp();\n}");
+        let ht: Vec<&Token> = helper.tokens.iter().filter(|t| !t.in_test).collect();
+        let st: Vec<&Token> = sink.tokens.iter().filter(|t| !t.in_test).collect();
+        let files = [
+            TaintFile {
+                rel: "helper.rs",
+                tokens: &ht,
+                rules: RuleSet::all(),
+                suppressed: &[],
+            },
+            TaintFile {
+                rel: "sink.rs",
+                tokens: &st,
+                rules: RuleSet::all(),
+                suppressed: &[],
+            },
+        ];
+        let o = run(&files);
+        assert_eq!(o.findings.len(), 1, "{:?}", o.findings);
+        assert_eq!(o.findings[0].0, 1);
+        assert!(o.findings[0].1.message.contains("helper.rs:1"));
+    }
+
+    #[test]
+    fn env_read_feeding_bench_report_is_caught() {
+        let o = run_single(
+            "fn pick() -> String { std::env::var(\"MODE\").unwrap_or_default() }\n\
+             fn emit(r: &mut BenchReport) { let m = pick(); }",
+        );
+        assert_eq!(o.findings.len(), 1, "{:?}", o.findings);
+    }
+
+    #[test]
+    fn hash_iteration_taints_summaries() {
+        let o = run_single(
+            "fn tally() -> usize { let m = HashMap::new(); m.values().count() }\n\
+             fn render(s: &FleetSummary) { let n = tally(); }",
+        );
+        assert_eq!(o.findings.len(), 1, "{:?}", o.findings);
+    }
+
+    #[test]
+    fn cursor_claim_is_not_a_source_when_exempt() {
+        let lexed = lex(
+            "fn claim(next: &AtomicUsize) -> usize { next.fetch_add(1, Ordering::Relaxed) }\n\
+                 fn render(s: &FleetSummary) { let i = claim(&NEXT); }",
+        );
+        let tokens: Vec<&Token> = lexed.tokens.iter().filter(|t| !t.in_test).collect();
+        let mut rules = RuleSet::all();
+        rules.atomic_cursor_exempt = true;
+        let files = [TaintFile {
+            rel: "runner.rs",
+            tokens: &tokens,
+            rules,
+            suppressed: &[],
+        }];
+        let o = run(&files);
+        assert!(o.findings.is_empty(), "{:?}", o.findings);
+    }
+
+    #[test]
+    fn relaxed_load_outside_cursor_is_a_source() {
+        let o = run_single(
+            "fn peek(a: &AtomicU64) -> u64 { a.load(Ordering::Relaxed) }\n\
+             fn render(s: &FleetSummary) { let v = peek(&A); }",
+        );
+        assert_eq!(o.findings.len(), 1, "{:?}", o.findings);
+    }
+}

@@ -1,19 +1,23 @@
 //! Fixture suite: each known-bad file under `tests/fixtures/` must trip
-//! exactly its expected rule at the expected lines, the clean fixture
-//! must pass every rule, and annotations must behave as the escape
+//! exactly its expected rules at the expected lines, each clean
+//! counterpart must pass, and annotations must behave as the escape
 //! hatch they are documented to be.
 
+use std::collections::BTreeSet;
 use std::path::Path;
 
-use tmo_lint::{analyze_source, Rule, RuleSet};
+use tmo_lint::{analyze_source, analyze_sources, ns, scope_for, Rule, RuleSet, SourceSpec};
 
-fn analyze_fixture(name: &str) -> tmo_lint::Analysis {
+fn fixture_source(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
-    let source = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
-    analyze_source(name, &source, RuleSet::all())
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn analyze_fixture(name: &str) -> tmo_lint::Analysis {
+    analyze_source(name, &fixture_source(name), RuleSet::all())
 }
 
 /// The `(rule, line)` pairs of every finding, sorted.
@@ -75,13 +79,100 @@ fn bad_unwrap_fault_trips_unwrap_and_expect() {
 }
 
 #[test]
-fn clean_fixture_passes_every_rule() {
-    let analysis = analyze_fixture("clean.rs");
-    assert!(
-        analysis.findings.is_empty(),
-        "clean fixture must produce zero findings, got: {:#?}",
-        analysis.findings
+fn bad_rng_namespace_trips_declaration_literal_and_unregistered_use() {
+    assert_eq!(
+        findings("bad_rng_namespace.rs"),
+        vec![
+            ("rng-namespace", 5),  // *_SEED_NS const outside the registry
+            ("rng-namespace", 8),  // raw literal XORed into derive_host_seed
+            ("rng-namespace", 12), // unregistered GHOST_SEED_NS in FaultPlan::new
+        ]
     );
+}
+
+#[test]
+fn bad_stale_allow_trips_the_dead_annotation() {
+    assert_eq!(findings("bad_stale_allow.rs"), vec![("stale-allow", 6)]);
+}
+
+#[test]
+fn bad_atomic_trips_types_and_orderings() {
+    assert_eq!(
+        findings("bad_atomic.rs"),
+        vec![
+            ("atomic-ordering", 4),  // AtomicU64 in the use line
+            ("atomic-ordering", 6),  // AtomicU64 static
+            ("atomic-ordering", 9),  // Ordering::SeqCst
+            ("atomic-ordering", 13), // Ordering::Relaxed outside the cursor
+        ]
+    );
+}
+
+#[test]
+fn bad_taint_launder_is_caught_at_helper_and_call_site() {
+    // The acceptance fixture: Instant::now lives in `stamp()`, the
+    // FleetSummary formatter only calls the helper — the wall-clock
+    // rule fires at the source, the taint pass at the laundering call.
+    assert_eq!(
+        findings("bad_taint_launder.rs"),
+        vec![("determinism-taint", 13), ("wall-clock", 7)]
+    );
+    let analysis = analyze_fixture("bad_taint_launder.rs");
+    let taint = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::DeterminismTaint)
+        .unwrap();
+    assert!(
+        taint.message.contains("bad_taint_launder.rs:7"),
+        "taint finding must name its origin: {}",
+        taint.message
+    );
+}
+
+#[test]
+fn clean_fixtures_pass_every_rule() {
+    for name in ["clean.rs", "clean_taint.rs", "clean_stale_allow.rs"] {
+        let analysis = analyze_fixture(name);
+        assert!(
+            analysis.findings.is_empty(),
+            "{name} must produce zero findings, got: {:#?}",
+            analysis.findings
+        );
+    }
+}
+
+#[test]
+fn clean_atomic_passes_under_the_cursor_exemption() {
+    let mut rules = RuleSet::all();
+    rules.atomic_cursor_exempt = true;
+    let a = analyze_source("clean_atomic.rs", &fixture_source("clean_atomic.rs"), rules);
+    assert!(a.findings.is_empty(), "{:#?}", a.findings);
+    // ... and the very same file trips without the exemption.
+    let without = analyze_fixture("clean_atomic.rs");
+    assert!(without
+        .findings
+        .iter()
+        .all(|f| f.rule == Rule::AtomicOrdering));
+    assert!(!without.findings.is_empty());
+}
+
+#[test]
+fn clean_rng_namespace_passes_with_its_registry() {
+    let specs = [
+        SourceSpec {
+            rel: ns::REGISTRY_PATH.to_string(),
+            source: fixture_source("registry_seed_ns.rs"),
+            rules: scope_for(ns::REGISTRY_PATH),
+        },
+        SourceSpec {
+            rel: "clean_rng_namespace.rs".to_string(),
+            source: fixture_source("clean_rng_namespace.rs"),
+            rules: RuleSet::all(),
+        },
+    ];
+    let a = analyze_sources(&specs);
+    assert!(a.findings.is_empty(), "{:#?}", a.findings);
 }
 
 #[test]
@@ -97,17 +188,24 @@ fn diagnostics_render_rustc_style() {
 }
 
 #[test]
-fn every_bad_fixture_trips_only_its_own_rule() {
-    for (fixture, rule) in [
-        ("bad_hash_iter.rs", Rule::HashIter),
-        ("bad_wall_clock.rs", Rule::WallClock),
-        ("bad_float_reduction.rs", Rule::FloatReduction),
-        ("bad_unwrap_fault.rs", Rule::UnwrapInFaultPath),
+fn every_bad_fixture_trips_exactly_its_expected_rules() {
+    for (fixture, expected) in [
+        ("bad_hash_iter.rs", vec![Rule::HashIter]),
+        ("bad_wall_clock.rs", vec![Rule::WallClock]),
+        ("bad_float_reduction.rs", vec![Rule::FloatReduction]),
+        ("bad_unwrap_fault.rs", vec![Rule::UnwrapInFaultPath]),
+        ("bad_rng_namespace.rs", vec![Rule::RngNamespace]),
+        ("bad_stale_allow.rs", vec![Rule::StaleAllow]),
+        ("bad_atomic.rs", vec![Rule::AtomicOrdering]),
+        (
+            "bad_taint_launder.rs",
+            vec![Rule::DeterminismTaint, Rule::WallClock],
+        ),
     ] {
         let analysis = analyze_fixture(fixture);
         assert!(!analysis.findings.is_empty(), "{fixture} must trip");
-        for f in &analysis.findings {
-            assert_eq!(f.rule, rule, "{fixture} tripped a foreign rule: {f:?}");
-        }
+        let tripped: BTreeSet<Rule> = analysis.findings.iter().map(|f| f.rule).collect();
+        let expected: BTreeSet<Rule> = expected.into_iter().collect();
+        assert_eq!(tripped, expected, "{fixture} rule set mismatch");
     }
 }

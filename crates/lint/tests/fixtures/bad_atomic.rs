@@ -1,0 +1,14 @@
+//! Deliberately bad: atomics outside the documented runner.rs shard
+//! cursor — sim state must stay single-threaded per host.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    COUNTER.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn peek() -> u64 {
+    COUNTER.load(Ordering::Relaxed)
+}

@@ -1,0 +1,13 @@
+//! Deliberately bad: seed-namespace hygiene violations — a namespace
+//! constant declared outside the registry, a raw literal XORed into a
+//! seed derivation, and an unregistered namespace identifier.
+
+const ROGUE_SEED_NS: u64 = 0xDEAD_BEEF;
+
+pub fn plan_for(seed: u64, host: u64) -> u64 {
+    derive_host_seed(seed ^ 0xABCD, host)
+}
+
+pub fn storm_plan(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed ^ GHOST_SEED_NS, 1)
+}

@@ -1,0 +1,8 @@
+//! Deliberately bad: the allow below suppresses nothing — the line it
+//! annotates no longer reads the clock — so the annotation itself must
+//! be reported stale.
+
+pub fn tick_count(ticks: u64) -> u64 {
+    // lint: allow(wall-clock) this line used to read Instant::now
+    ticks + 1
+}

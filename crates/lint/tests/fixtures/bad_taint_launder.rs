@@ -1,0 +1,15 @@
+//! Deliberately bad: a wall-clock read laundered through a helper so
+//! the sink never touches the clock directly. The taint pass must
+//! report the flow at the call site inside the formatter.
+
+// Looks innocent in isolation: no sink here, just a stamp.
+fn stamp() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+// The sink: formats a FleetSummary for golden stdout.
+pub fn render(summary: &FleetSummary) -> String {
+    let stamp = stamp();
+    format!("{} @ {stamp}", summary.hosts)
+}

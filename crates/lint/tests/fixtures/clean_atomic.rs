@@ -1,0 +1,15 @@
+//! Clean under the runner.rs exemption: the documented shard-claim
+//! cursor protocol — `AtomicUsize::fetch_add` with `Ordering::Relaxed`.
+//! (Analyzed with `atomic_cursor_exempt` set, as `scope_for` grants
+//! only `crates/core/src/runner.rs`.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn claim_shards(total: usize) -> usize {
+    let next = AtomicUsize::new(0);
+    let mut claimed = 0;
+    while next.fetch_add(1, Ordering::Relaxed) < total {
+        claimed += 1;
+    }
+    claimed
+}

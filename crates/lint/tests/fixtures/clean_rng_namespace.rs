@@ -1,0 +1,11 @@
+//! Clean: seed derivations use only a registered namespace constant
+//! (analyzed together with `registry_seed_ns.rs` standing in as the
+//! tmo_sim::seed_ns registry).
+
+pub fn plan_for(seed: u64, host: u64) -> u64 {
+    derive_host_seed(seed ^ FIXTURE_SEED_NS, host)
+}
+
+pub fn raw_convention(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed, 0)
+}

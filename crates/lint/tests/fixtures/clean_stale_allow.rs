@@ -1,0 +1,8 @@
+//! Clean: the allow still earns its keep — the annotated line really
+//! does read the clock, so the suppression is live, not stale.
+
+pub fn stamp() -> u64 {
+    // lint: allow(wall-clock) fixture exercises a live suppression
+    let t = Instant::now();
+    0
+}

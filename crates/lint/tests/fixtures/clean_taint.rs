@@ -1,0 +1,12 @@
+//! Clean: the formatter touches deterministic values only, and stderr
+//! remains the sanctioned side channel (`eprintln!` is not a sink).
+
+fn digest(seed: u64, ticks: u64) -> u64 {
+    seed.wrapping_mul(ticks | 1)
+}
+
+pub fn render(summary: &FleetSummary) -> String {
+    let d = digest(1300, 4);
+    eprintln!("render digest ready");
+    format!("{} {d}", summary.hosts)
+}

@@ -1,0 +1,6 @@
+//! Stand-in seed-namespace registry for the clean rng-namespace
+//! fixture pair (analyzed at the registry's workspace-relative path).
+
+pub const FIXTURE_SEED_NS: u64 = 0xF1A7_0001;
+
+pub const ALL: &[(&str, u64)] = &[("FIXTURE_SEED_NS", FIXTURE_SEED_NS)];

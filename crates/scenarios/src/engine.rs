@@ -11,8 +11,10 @@ use crate::scenario::Scenario;
 
 /// Namespace XORed into the host seed before deriving the engine's
 /// [`FaultPlan`], so scenario draws can never collide with the host's
-/// own fault schedule (which hashes the raw seed).
-pub const SCENARIO_SEED_NS: u64 = 0x5CE7_A210_0D1C_E5E5;
+/// own fault schedule (which hashes the raw seed). Registered in the
+/// `tmo_sim::seed_ns` table; re-exported here because this crate owns
+/// the stream.
+pub use tmo_sim::seed_ns::SCENARIO_SEED_NS;
 
 /// Salt family for churn-storm crash draws; event `i` uses
 /// `STORM_SALT ^ (i << 8)` so overlapping storms stay independent.

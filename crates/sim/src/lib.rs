@@ -31,6 +31,7 @@
 
 pub mod clock;
 pub mod rng;
+pub mod seed_ns;
 pub mod series;
 pub mod stats;
 pub mod time;

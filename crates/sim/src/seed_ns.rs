@@ -1,0 +1,86 @@
+//! The seed-namespace registry.
+//!
+//! Every independent deterministic draw stream in the simulator is
+//! separated from the others by XORing a 64-bit *namespace* constant
+//! into the seed it derives from. Two streams that accidentally share a
+//! namespace are silently **correlated** — fault timing would mirror
+//! scenario storms, or a scenario's kills would track the host's own
+//! crash schedule — which corrupts experiments without failing any
+//! determinism test (the runs are still bit-reproducible, just wrong).
+//!
+//! To make collisions impossible to introduce quietly, all namespace
+//! constants live here, in one table, with two enforcement layers:
+//!
+//! * the unit test below asserts the registered values are pairwise
+//!   distinct (and well-mixed: no zero, no duplicates under the
+//!   host-seed derivation);
+//! * `tmo-lint`'s `rng-namespace` rule statically rejects any
+//!   `*_SEED_NS` constant declared outside this file, any unregistered
+//!   `*_SEED_NS` identifier, and any raw literal XORed into a seed
+//!   derivation (`FaultPlan::new` / `derive_host_seed` /
+//!   `seed_from_u64`).
+//!
+//! To add a stream: define the constant here, add it to [`ALL`], and
+//! re-export it from the crate that owns the stream.
+
+/// Namespace for [`FaultPlan`](../../tmo_faults/struct.FaultPlan.html)
+/// schedules: a host's fault draws never correlate with its workload
+/// RNG streams, which hash the raw `(seed, host_index)`.
+pub const FAULT_PLAN_SEED_NS: u64 = 0xFA17_FA17_FA17_FA17;
+
+/// Namespace for the scenario engine's draw stream (`tmo-scenarios`):
+/// storm kills and event jitter never correlate with the host's own
+/// fault schedule, which hashes the un-namespaced seed.
+pub const SCENARIO_SEED_NS: u64 = 0x5CE7_A210_0D1C_E5E5;
+
+/// The registry table: every namespace constant, by name. The
+/// `rng-namespace` lint rule parses this file and treats exactly these
+/// constants as registered; the unit test below pins their uniqueness.
+pub const ALL: &[(&str, u64)] = &[
+    ("FAULT_PLAN_SEED_NS", FAULT_PLAN_SEED_NS),
+    ("SCENARIO_SEED_NS", SCENARIO_SEED_NS),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_host_seed;
+
+    #[test]
+    fn registered_namespaces_are_globally_unique() {
+        for (i, (name_a, val_a)) in ALL.iter().enumerate() {
+            assert_ne!(*val_a, 0, "{name_a} must not be the identity namespace");
+            for (name_b, val_b) in &ALL[i + 1..] {
+                assert_ne!(
+                    val_a, val_b,
+                    "{name_a} and {name_b} collide: their draw streams would \
+                     be identical, silently correlating supposedly independent \
+                     randomness"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_matches_the_constants() {
+        // A constant edited without its table row (or vice versa) is a
+        // registry lie; the lint rule reads the table.
+        assert_eq!(ALL[0], ("FAULT_PLAN_SEED_NS", FAULT_PLAN_SEED_NS));
+        assert_eq!(ALL[1], ("SCENARIO_SEED_NS", SCENARIO_SEED_NS));
+        assert_eq!(ALL.len(), 2);
+    }
+
+    #[test]
+    fn namespaced_streams_decorrelate_under_host_derivation() {
+        // The property the registry exists to protect: the same
+        // (seed, host) under two different namespaces yields different
+        // derived seeds, and under the same namespace identical ones.
+        for seed in [0u64, 1, 900, u64::MAX] {
+            for host in [0u64, 1, 63] {
+                let a = derive_host_seed(seed ^ FAULT_PLAN_SEED_NS, host);
+                let b = derive_host_seed(seed ^ SCENARIO_SEED_NS, host);
+                assert_ne!(a, b, "seed {seed} host {host}");
+            }
+        }
+    }
+}

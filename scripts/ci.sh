@@ -27,11 +27,17 @@ echo "==> scenario stability: full catalog jobs sweep (release)"
 cargo test --release -q --offline --test scenario_stability
 
 echo "==> tmo-lint: determinism contract gate"
-# Static determinism analysis (DESIGN.md "Determinism contract"): no
-# hash-ordered iteration or ambient wall-clock/entropy in sim code, no
-# unordered float reduction, no unwrap in fault paths. Any unannotated
-# finding is a hard failure, exactly like clippy.
+# Static determinism analysis (DESIGN.md "Determinism contract"): the
+# per-file rules (hash-ordered iteration, ambient wall-clock/entropy,
+# unordered float reduction, unwrap in fault paths, atomics outside the
+# shard cursor, seed-namespace hygiene) plus the interprocedural
+# determinism-taint pass and the stale-allow audit. Any unannotated
+# finding is a hard failure, exactly like clippy. The human-readable
+# gate runs first so failures print rustc-style diagnostics; the SARIF
+# artifact is emitted afterwards for tooling.
 ./target/release/tmo-lint --root .
+./target/release/tmo-lint --root . --format sarif > target/tmo-lint.sarif
+echo "    sarif artifact: target/tmo-lint.sarif"
 
 echo "==> tmo-lint --allows vs golden"
 # The allow-annotation inventory is pinned: a new escape hatch must be
