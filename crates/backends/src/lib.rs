@@ -39,6 +39,7 @@
 pub mod catalog;
 pub mod nvm;
 pub mod queue;
+pub mod slab;
 pub mod ssd;
 pub mod tiered;
 pub mod traits;
@@ -47,6 +48,7 @@ pub mod zswap;
 pub use catalog::SsdModel;
 pub use nvm::NvmDevice;
 pub use queue::CongestionModel;
+pub use slab::TokenSlab;
 pub use ssd::SsdDevice;
 pub use tiered::TieredBackend;
 pub use traits::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBackend, StoreOutcome};

@@ -6,8 +6,6 @@
 //! produces, and no queueing cliff (NVM read bandwidth far exceeds the
 //! paging rates a single host generates).
 
-use std::collections::BTreeMap;
-
 use tmo_sim::{ByteSize, DetRng, SimDuration};
 
 use crate::traits::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBackend, StoreOutcome};
@@ -29,7 +27,7 @@ use crate::traits::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBacke
 #[derive(Debug, Clone)]
 pub struct NvmDevice {
     capacity: ByteSize,
-    stored: BTreeMap<u64, ByteSize>,
+    stored: crate::slab::TokenSlab<ByteSize>,
     next_token: u64,
     stats: BackendStats,
     read_median: SimDuration,
@@ -45,7 +43,7 @@ impl NvmDevice {
     pub fn new(capacity: ByteSize) -> Self {
         NvmDevice {
             capacity,
-            stored: BTreeMap::new(),
+            stored: crate::slab::TokenSlab::new(),
             next_token: 0,
             stats: BackendStats::default(),
             read_median: SimDuration::from_micros(3),
@@ -108,14 +106,14 @@ impl OffloadBackend for NvmDevice {
         if self.dead {
             return None;
         }
-        let bytes = self.stored.remove(&token)?;
+        let bytes = self.stored.remove(token)?;
         self.stats.pages_stored -= 1;
         self.stats.bytes_stored -= bytes;
         Some(self.access(IoKind::Read, bytes, rng))
     }
 
     fn discard(&mut self, token: u64) -> bool {
-        match self.stored.remove(&token) {
+        match self.stored.remove(token) {
             Some(bytes) => {
                 self.stats.pages_stored -= 1;
                 self.stats.bytes_stored -= bytes;

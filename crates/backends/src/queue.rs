@@ -40,6 +40,11 @@ pub struct CongestionModel {
     capacity_iops: f64,
     arrivals_this_tick: u64,
     rate_ewma: f64,
+    /// Tick length the cached decay factor was computed for; ticks are
+    /// fixed-length in practice, so the `exp` runs once, not per tick.
+    /// The cache returns the exact `f64` recomputation would yield.
+    cached_dt_secs: f64,
+    cached_decay: f64,
 }
 
 impl CongestionModel {
@@ -57,6 +62,8 @@ impl CongestionModel {
             capacity_iops,
             arrivals_this_tick: 0,
             rate_ewma: 0.0,
+            cached_dt_secs: 0.0,
+            cached_decay: 1.0,
         }
     }
 
@@ -76,8 +83,13 @@ impl CongestionModel {
         if dt.is_zero() {
             return;
         }
-        let inst_rate = self.arrivals_this_tick as f64 / dt.as_secs_f64();
-        let decay = (-dt.as_secs_f64() / RATE_WINDOW.as_secs_f64()).exp();
+        let dt_secs = dt.as_secs_f64();
+        if dt_secs != self.cached_dt_secs {
+            self.cached_dt_secs = dt_secs;
+            self.cached_decay = (-dt_secs / RATE_WINDOW.as_secs_f64()).exp();
+        }
+        let inst_rate = self.arrivals_this_tick as f64 / dt_secs;
+        let decay = self.cached_decay;
         self.rate_ewma = self.rate_ewma * decay + inst_rate * (1.0 - decay);
         self.arrivals_this_tick = 0;
     }

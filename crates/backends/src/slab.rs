@@ -1,0 +1,195 @@
+//! Dense token-window storage for backend page tables.
+//!
+//! Every offload backend hands out monotonically increasing `u64`
+//! tokens and later looks them up exactly once (`load`) or drops them
+//! (`discard`). A search tree is overkill for that access pattern: the
+//! live tokens always fall in the window `[oldest_live, next_token)`,
+//! so a deque of slots indexed by `token - base` gives O(1) insert and
+//! remove while keeping memory proportional to the live span (the
+//! drained front is trimmed on every removal). Iteration is in
+//! ascending token order, the same order a `BTreeMap` provides — the
+//! property the determinism contract relies on wherever a backend scan
+//! feeds RNG draws.
+
+use std::collections::VecDeque;
+
+/// A map from monotonically allocated `u64` tokens to values.
+///
+/// # Example
+///
+/// ```
+/// use tmo_backends::slab::TokenSlab;
+///
+/// let mut slab = TokenSlab::new();
+/// slab.insert(10, "a");
+/// slab.insert(11, "b");
+/// assert_eq!(slab.remove(10), Some("a"));
+/// assert_eq!(slab.remove(10), None);
+/// assert_eq!(slab.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TokenSlab<T> {
+    /// Token addressed by `slots[0]`; meaningless while `slots` is
+    /// empty (reset by the next insert).
+    base: u64,
+    slots: VecDeque<Option<T>>,
+    len: usize,
+}
+
+impl<T> TokenSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        TokenSlab {
+            base: 0,
+            slots: VecDeque::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` under `token`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` is below the live window (tokens are allocated
+    /// monotonically and never reused) or already occupied.
+    pub fn insert(&mut self, token: u64, value: T) {
+        if self.slots.is_empty() {
+            self.base = token;
+        }
+        assert!(
+            token >= self.base,
+            "token {token} below live window base {}",
+            self.base
+        );
+        let idx = (token - self.base) as usize;
+        while self.slots.len() <= idx {
+            self.slots.push_back(None);
+        }
+        assert!(self.slots[idx].is_none(), "token {token} already stored");
+        self.slots[idx] = Some(value);
+        self.len += 1;
+    }
+
+    /// Reads the value under `token`, if live.
+    pub fn get(&self, token: u64) -> Option<&T> {
+        let idx = token.checked_sub(self.base)?;
+        self.slots.get(idx as usize)?.as_ref()
+    }
+
+    /// Removes and returns the value under `token`, if live. The
+    /// drained edges of the window are trimmed so capacity tracks the
+    /// live token span rather than the run's cumulative allocations.
+    pub fn remove(&mut self, token: u64) -> Option<T> {
+        let idx = token.checked_sub(self.base)? as usize;
+        let value = self.slots.get_mut(idx)?.take();
+        if value.is_some() {
+            self.len -= 1;
+            while matches!(self.slots.front(), Some(None)) {
+                self.slots.pop_front();
+                self.base += 1;
+            }
+            while matches!(self.slots.back(), Some(None)) {
+                self.slots.pop_back();
+            }
+        }
+        value
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.len = 0;
+    }
+
+    /// Iterates live `(token, value)` pairs in ascending token order —
+    /// the same order a `BTreeMap<u64, T>` would yield.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        let base = self.base;
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, slot)| slot.as_ref().map(|v| (base + i as u64, v)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut slab = TokenSlab::new();
+        for t in 100..110 {
+            slab.insert(t, t * 2);
+        }
+        assert_eq!(slab.len(), 10);
+        assert_eq!(slab.get(105), Some(&210));
+        assert_eq!(slab.remove(105), Some(210));
+        assert_eq!(slab.remove(105), None);
+        assert_eq!(slab.get(105), None);
+        assert_eq!(slab.len(), 9);
+    }
+
+    #[test]
+    fn front_trim_bounds_capacity_to_live_span() {
+        let mut slab = TokenSlab::new();
+        for t in 0..1000u64 {
+            slab.insert(t, ());
+            if t >= 10 {
+                assert_eq!(slab.remove(t - 10), Some(()));
+            }
+        }
+        assert_eq!(slab.len(), 10);
+        // The window tracks the ten live tokens, not all thousand.
+        assert!(slab.slots.len() <= 10);
+    }
+
+    #[test]
+    fn iteration_is_in_ascending_token_order() {
+        let mut slab = TokenSlab::new();
+        for t in [7u64, 8, 9, 10, 11] {
+            slab.insert(t, t);
+        }
+        slab.remove(9);
+        let tokens: Vec<u64> = slab.iter().map(|(t, _)| t).collect();
+        assert_eq!(tokens, vec![7, 8, 10, 11]);
+    }
+
+    #[test]
+    fn remove_unknown_token_is_none() {
+        let mut slab: TokenSlab<u8> = TokenSlab::new();
+        assert_eq!(slab.remove(3), None);
+        slab.insert(5, 1);
+        assert_eq!(slab.remove(3), None);
+        assert_eq!(slab.remove(6), None);
+    }
+
+    #[test]
+    fn clear_then_reuse_at_higher_tokens() {
+        let mut slab = TokenSlab::new();
+        slab.insert(1, "x");
+        slab.clear();
+        assert!(slab.is_empty());
+        slab.insert(50, "y");
+        assert_eq!(slab.get(50), Some(&"y"));
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already stored")]
+    fn double_insert_panics() {
+        let mut slab = TokenSlab::new();
+        slab.insert(4, ());
+        slab.insert(4, ());
+    }
+}

@@ -7,8 +7,6 @@
 //! a pTBW endurance budget — the paper's §4.5 write-regulation mechanism
 //! reads these counters.
 
-use std::collections::BTreeMap;
-
 use tmo_sim::{ByteSize, DetRng, SimDuration};
 
 use crate::queue::CongestionModel;
@@ -91,13 +89,18 @@ impl SsdSpec {
 #[derive(Debug, Clone)]
 pub struct SsdDevice {
     spec: SsdSpec,
-    stored: BTreeMap<u64, ByteSize>,
+    stored: crate::slab::TokenSlab<ByteSize>,
     next_token: u64,
     read_queue: CongestionModel,
     write_queue: CongestionModel,
     stats: BackendStats,
     write_bytes_this_tick: u64,
     write_rate_bps: f64,
+    /// Tick length the cached decay factor was computed for; ticks are
+    /// fixed-length in practice, so the `exp` runs once, not per tick.
+    /// The cache returns the exact `f64` recomputation would yield.
+    cached_dt_secs: f64,
+    cached_decay: f64,
     /// Media bytes physically written (host bytes × write amplification),
     /// the quantity that actually consumes endurance.
     media_bytes_written: f64,
@@ -119,13 +122,15 @@ impl SsdDevice {
         let write_queue = CongestionModel::new(spec.write_iops);
         SsdDevice {
             spec,
-            stored: BTreeMap::new(),
+            stored: crate::slab::TokenSlab::new(),
             next_token: 0,
             read_queue,
             write_queue,
             stats: BackendStats::default(),
             write_bytes_this_tick: 0,
             write_rate_bps: 0.0,
+            cached_dt_secs: 0.0,
+            cached_decay: 1.0,
             media_bytes_written: 0.0,
             dead: false,
             worn_out: false,
@@ -189,21 +194,23 @@ impl OffloadBackend for SsdDevice {
                 self.read_queue.on_arrival();
                 self.stats.reads += 1;
                 self.stats.bytes_read += bytes;
+                self.draw_latency(kind, rng)
             }
             IoKind::Write => {
                 self.write_queue.on_arrival();
                 self.stats.writes += 1;
                 self.stats.bytes_written += bytes;
                 self.write_bytes_this_tick += bytes.as_u64();
-                self.media_bytes_written += bytes.as_u64() as f64 * self.write_amplification();
+                // WA depends only on bytes_stored, which this access does
+                // not change, so one computation serves both the media
+                // accounting and the GC latency penalty below.
+                let wa = self.write_amplification();
+                self.media_bytes_written += bytes.as_u64() as f64 * wa;
+                let base = self.draw_latency(kind, rng);
+                // GC competes with host writes: latency grows with WA.
+                base.mul_f64(1.0 + (wa - 1.0) * 0.5)
             }
         }
-        let base = self.draw_latency(kind, rng);
-        if kind == IoKind::Write {
-            // GC competes with host writes: latency grows with WA.
-            return base.mul_f64(1.0 + (self.write_amplification() - 1.0) * 0.5);
-        }
-        base
     }
 
     fn store(
@@ -234,14 +241,14 @@ impl OffloadBackend for SsdDevice {
         if self.dead {
             return None;
         }
-        let bytes = self.stored.remove(&token)?;
+        let bytes = self.stored.remove(token)?;
         self.stats.pages_stored -= 1;
         self.stats.bytes_stored -= bytes;
         Some(self.access(IoKind::Read, bytes, rng))
     }
 
     fn discard(&mut self, token: u64) -> bool {
-        match self.stored.remove(&token) {
+        match self.stored.remove(token) {
             Some(bytes) => {
                 self.stats.pages_stored -= 1;
                 self.stats.bytes_stored -= bytes;
@@ -265,8 +272,13 @@ impl OffloadBackend for SsdDevice {
         }
         self.read_queue.tick(dt);
         self.write_queue.tick(dt);
-        let inst = self.write_bytes_this_tick as f64 / dt.as_secs_f64();
-        let decay = (-dt.as_secs_f64() / WRITE_RATE_WINDOW.as_secs_f64()).exp();
+        let dt_secs = dt.as_secs_f64();
+        if dt_secs != self.cached_dt_secs {
+            self.cached_dt_secs = dt_secs;
+            self.cached_decay = (-dt_secs / WRITE_RATE_WINDOW.as_secs_f64()).exp();
+        }
+        let inst = self.write_bytes_this_tick as f64 / dt_secs;
+        let decay = self.cached_decay;
         self.write_rate_bps = self.write_rate_bps * decay + inst * (1.0 - decay);
         self.write_bytes_this_tick = 0;
     }

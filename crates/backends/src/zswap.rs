@@ -8,8 +8,6 @@
 //! deployment settled on zstd + zsmalloc after comparing lzo/lz4/zstd
 //! and z3fold/zbud/zsmalloc (§5.1).
 
-use std::collections::BTreeMap;
-
 use tmo_sim::{ByteSize, DetRng, SimDuration};
 
 use crate::traits::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBackend, StoreOutcome};
@@ -96,7 +94,7 @@ pub struct ZswapPool {
     name: String,
     capacity: ByteSize,
     allocator: ZswapAllocator,
-    stored: BTreeMap<u64, ByteSize>,
+    stored: crate::slab::TokenSlab<ByteSize>,
     next_token: u64,
     stats: BackendStats,
     /// Median decompression-side fault latency.
@@ -124,7 +122,7 @@ impl ZswapPool {
             name: format!("zswap-{allocator}"),
             capacity,
             allocator,
-            stored: BTreeMap::new(),
+            stored: crate::slab::TokenSlab::new(),
             next_token: 0,
             stats: BackendStats::default(),
             read_median,
@@ -207,14 +205,14 @@ impl OffloadBackend for ZswapPool {
         if self.dead {
             return None;
         }
-        let bytes = self.stored.remove(&token)?;
+        let bytes = self.stored.remove(token)?;
         self.stats.pages_stored -= 1;
         self.stats.bytes_stored -= bytes;
         Some(self.access(IoKind::Read, bytes, rng))
     }
 
     fn discard(&mut self, token: u64) -> bool {
-        match self.stored.remove(&token) {
+        match self.stored.remove(token) {
             Some(bytes) => {
                 self.stats.pages_stored -= 1;
                 self.stats.bytes_stored -= bytes;

@@ -43,6 +43,25 @@ fn psi_observe(c: &mut Criterion) {
             black_box(psi.some_avg10(Resource::Memory))
         })
     });
+    // The batched totals form the Machine tick feeds: per-task stall
+    // totals for all three resources, no observation structs at all.
+    group.bench_function("observe_totals_8_tasks", |b| {
+        let mut psi = PsiGroup::new(8);
+        let window = SimDuration::from_millis(100);
+        let stalls: Vec<[SimDuration; 3]> = (0..8u64)
+            .map(|i| {
+                [
+                    SimDuration::from_nanos(800_000 + i * 1000),
+                    SimDuration::from_nanos(300_000 + i * 1000),
+                    SimDuration::ZERO,
+                ]
+            })
+            .collect();
+        b.iter(|| {
+            psi.observe_totals(window, black_box(&stalls));
+            black_box(psi.some_avg10(Resource::Memory))
+        })
+    });
     group.bench_function("interval_union_64", |b| {
         let sets: Vec<IntervalSet> = (0..64u64)
             .map(|i| IntervalSet::from_spans(&[(i * 1000, i * 1000 + 1500)]))

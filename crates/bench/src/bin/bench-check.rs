@@ -1,22 +1,19 @@
 //! Validates a `BENCH_*.json` report emitted by the criterion shim (or
 //! the `ext_paper_scale` experiment):
-//! `bench-check <micro|figures|paper-scale> <path>`. Exits non-zero
-//! with a message when the file is missing, malformed, missing required
-//! benchmarks, or — for `paper-scale` — below the parallel-efficiency
-//! floor, so `scripts/bench.sh` (and CI's bench smoke stage) catch a
-//! silently broken harness and scaling regressions alike.
+//! `bench-check <micro|figures|paper-scale> <path>`, or
+//! `bench-check figures-speedup <baseline> <current>` to hold the
+//! scan-heavy figures to their ≥3x speedup floor against the committed
+//! pre-optimisation baseline. Exits non-zero with a message when the
+//! file is missing, malformed, missing required benchmarks, below the
+//! parallel-efficiency floor, or below the speedup floor, so
+//! `scripts/bench.sh` (and CI's bench smoke stage) catch a silently
+//! broken harness and performance regressions alike.
 
-use tmo_bench::report::{validate_paper_scale, BenchReport, REQUIRED_FIGURES, REQUIRED_MICRO};
+use tmo_bench::report::{
+    validate_figure_speedups, validate_paper_scale, BenchReport, REQUIRED_FIGURES, REQUIRED_MICRO,
+};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (kind, path) = match args.as_slice() {
-        [kind, path] => (kind.as_str(), path.as_str()),
-        _ => {
-            eprintln!("usage: bench-check <micro|figures|paper-scale> <path-to-json>");
-            std::process::exit(2);
-        }
-    };
+fn load(path: &str) -> BenchReport {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -24,13 +21,50 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let report = match BenchReport::parse(&text) {
+    match BenchReport::parse(&text) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("bench-check: {path}: malformed report: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let ["figures-speedup", baseline_path, current_path] = args
+        .iter()
+        .map(String::as_str)
+        .collect::<Vec<_>>()
+        .as_slice()
+    {
+        let baseline = load(baseline_path);
+        let current = load(current_path);
+        match validate_figure_speedups(&baseline, &current) {
+            Ok(speedups) => {
+                for (name, speedup) in &speedups {
+                    println!("bench-check: {name} {speedup:.2}x faster than baseline");
+                }
+                println!("bench-check: {current_path} OK (speedup gate vs {baseline_path})");
+                return;
+            }
+            Err(e) => {
+                eprintln!("bench-check: {current_path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let (kind, path) = match args.as_slice() {
+        [kind, path] => (kind.as_str(), path.as_str()),
+        _ => {
+            eprintln!(
+                "usage: bench-check <micro|figures|paper-scale> <path-to-json>\n\
+                        bench-check figures-speedup <baseline-json> <current-json>"
+            );
+            std::process::exit(2);
+        }
     };
+    let report = load(path);
     match kind {
         "micro" | "figures" => {
             let required = if kind == "micro" {

@@ -40,6 +40,7 @@ pub struct BenchReport {
 /// and the zswap store/load path, plus the supporting micro groups.
 pub const REQUIRED_MICRO: &[(&str, &str)] = &[
     ("psi", "observe_8_tasks"),
+    ("psi", "observe_totals_8_tasks"),
     ("psi", "interval_union_64"),
     ("psi", "state_tracker_transition"),
     ("stats", "p2_quantile_observe"),
@@ -182,6 +183,56 @@ impl BenchReport {
         }
         Ok(())
     }
+}
+
+/// Figure benchmarks whose medians must beat the committed pre-PSI-batch
+/// baseline (`BENCH_figures_baseline.json`) by at least the given
+/// factor. These are the two scan-heavy figures the batched PSI
+/// accounting and vectorized coldness scan were aimed at; the gate
+/// keeps a regression from quietly re-inflating the full repro.
+pub const FIGURE_SPEEDUP_GATES: &[(&str, &str, f64)] = &[
+    ("figures", "fig02_coldness", 3.0),
+    ("figures", "fig14_write_regulation", 3.0),
+];
+
+/// Checks every [`FIGURE_SPEEDUP_GATES`] entry: `current`'s median must
+/// be at least `factor`× faster than `baseline`'s. The baseline must be
+/// a full-mode report (the committed pre-optimisation recording);
+/// `current` may be a smoke report — the shim's smoke mode clamps
+/// sample counts, not figure scale, so per-iteration medians stay
+/// comparable. Returns `(group/name, speedup)` pairs for printing.
+pub fn validate_figure_speedups(
+    baseline: &BenchReport,
+    current: &BenchReport,
+) -> Result<Vec<(String, f64)>, String> {
+    if baseline.mode != "full" {
+        return Err(format!(
+            "baseline report is mode {:?}; the committed baseline must be a full run",
+            baseline.mode
+        ));
+    }
+    let mut speedups = Vec::with_capacity(FIGURE_SPEEDUP_GATES.len());
+    for &(group, name, factor) in FIGURE_SPEEDUP_GATES {
+        let base = baseline
+            .find(group, name)
+            .ok_or_else(|| format!("baseline lacks {group}/{name}"))?;
+        let cur = current
+            .find(group, name)
+            .ok_or_else(|| format!("current report lacks {group}/{name}"))?;
+        if !(base.median_ns > 0.0 && cur.median_ns > 0.0) {
+            return Err(format!("{group}/{name}: non-positive median"));
+        }
+        let speedup = base.median_ns / cur.median_ns;
+        if speedup < factor {
+            return Err(format!(
+                "{group}/{name}: median {:.0}ns is only {speedup:.2}x faster than the \
+                 committed baseline {:.0}ns (gate: ≥{factor}x)",
+                cur.median_ns, base.median_ns
+            ));
+        }
+        speedups.push((format!("{group}/{name}"), speedup));
+    }
+    Ok(speedups)
 }
 
 /// Minimum parallel efficiency a full-scale `paper_scale` report must
@@ -450,6 +501,52 @@ mod tests {
             "\"name\": \"access_4096_resident\", \"group\": \"mm\"",
         );
         assert!(BenchReport::parse(&swapped).is_err());
+    }
+
+    /// A minimal figures report with the two gated benchmarks at the
+    /// given medians (ns).
+    fn figures_report(mode: &str, fig02_ns: f64, fig14_ns: f64) -> BenchReport {
+        let text = format!(
+            r#"{{"schema": "tmo-bench-v1", "mode": "{mode}", "results": [
+    {{"group": "figures", "name": "fig02_coldness", "median_ns": {fig02_ns:.3}, "mean_ns": {fig02_ns:.3}, "best_ns": {fig02_ns:.3}, "samples": 3, "iters": 3}},
+    {{"group": "figures", "name": "fig14_write_regulation", "median_ns": {fig14_ns:.3}, "mean_ns": {fig14_ns:.3}, "best_ns": {fig14_ns:.3}, "samples": 3, "iters": 3}}
+  ]}}"#
+        );
+        BenchReport::parse(&text).expect("parses")
+    }
+
+    #[test]
+    fn figure_speedup_gate_passes_at_3x_and_fails_below() {
+        let baseline = figures_report("full", 120_000_000.0, 360_000_000.0);
+        // Exactly 3x on both figures: passes (gate is >=).
+        let fast = figures_report("smoke", 40_000_000.0, 120_000_000.0);
+        let speedups = validate_figure_speedups(&baseline, &fast).expect("3x passes");
+        assert_eq!(speedups.len(), 2);
+        assert!((speedups[0].1 - 3.0).abs() < 1e-9);
+
+        // fig14 at only 2x: the gate names the offender.
+        let slow = figures_report("smoke", 40_000_000.0, 180_000_000.0);
+        let err = validate_figure_speedups(&baseline, &slow).unwrap_err();
+        assert!(err.contains("fig14_write_regulation"), "{err}");
+        assert!(err.contains("2.00x"), "{err}");
+    }
+
+    #[test]
+    fn figure_speedup_gate_rejects_smoke_baseline_and_missing_rows() {
+        let smoke_base = figures_report("smoke", 120_000_000.0, 360_000_000.0);
+        let fast = figures_report("smoke", 1_000_000.0, 1_000_000.0);
+        let err = validate_figure_speedups(&smoke_base, &fast).unwrap_err();
+        assert!(err.contains("full run"), "{err}");
+
+        let baseline = figures_report("full", 120_000_000.0, 360_000_000.0);
+        let empty =
+            BenchReport::parse(r#"{"schema": "tmo-bench-v1", "mode": "smoke", "results": []}"#)
+                .expect("parses");
+        let err = validate_figure_speedups(&baseline, &empty).unwrap_err();
+        assert!(
+            err.contains("current report lacks figures/fig02_coldness"),
+            "{err}"
+        );
     }
 
     #[test]

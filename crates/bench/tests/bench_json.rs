@@ -5,7 +5,7 @@
 
 use std::path::PathBuf;
 
-use tmo_bench::report::{BenchReport, REQUIRED_FIGURES, REQUIRED_MICRO};
+use tmo_bench::report::{validate_figure_speedups, BenchReport, REQUIRED_FIGURES, REQUIRED_MICRO};
 
 fn repo_root() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
@@ -72,6 +72,59 @@ fn current_access_median_beats_baseline_2x() {
     assert!(
         cur * 2.0 <= base,
         "page-access median {cur}ns is not ≥2x better than baseline {base}ns"
+    );
+}
+
+#[test]
+fn committed_figures_baseline_pins_prebatching_numbers() {
+    // The figures baseline is the pre-PSI-batching full-mode recording
+    // the ≥3x figure gate is measured against; it must stay parseable,
+    // full-mode, and keep both gated figures.
+    let report = load("BENCH_figures_baseline.json");
+    assert_eq!(report.mode, "full");
+    for name in ["fig02_coldness", "fig14_write_regulation"] {
+        let row = report
+            .find("figures", name)
+            .unwrap_or_else(|| panic!("baseline lacks figures/{name}"));
+        assert!(row.median_ns > 0.0);
+    }
+}
+
+#[test]
+fn current_figures_beat_baseline_3x() {
+    // The headline acceptance gate of the PSI-batching / coldness-scan
+    // PR, checked against the committed reports (same caveat as the
+    // access gate below: bench.sh regenerates, this test only pins).
+    let baseline = load("BENCH_figures_baseline.json");
+    let current = load("BENCH_figures.json");
+    if current.mode != "full" {
+        return;
+    }
+    let speedups = validate_figure_speedups(&baseline, &current)
+        .unwrap_or_else(|e| panic!("figure speedup gate: {e}"));
+    assert_eq!(speedups.len(), 2);
+}
+
+#[test]
+fn current_psi_observe_beats_baseline_2x() {
+    // Companion gate: the per-window PSI update the Machine tick pays
+    // must be ≥2x faster than the pre-batching baseline recording.
+    let baseline = load("BENCH_micro_baseline.json");
+    let current = load("BENCH_micro.json");
+    if current.mode != "full" || baseline.mode != "full" {
+        return;
+    }
+    let base = baseline
+        .find("psi", "observe_8_tasks")
+        .expect("baseline lacks psi/observe_8_tasks")
+        .median_ns;
+    let cur = current
+        .find("psi", "observe_8_tasks")
+        .expect("current lacks psi/observe_8_tasks")
+        .median_ns;
+    assert!(
+        cur * 2.0 <= base,
+        "psi observe median {cur}ns is not ≥2x better than baseline {base}ns"
     );
 }
 

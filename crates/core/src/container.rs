@@ -2,7 +2,7 @@
 
 use tmo_mm::{CgroupId, PageId};
 use tmo_psi::PsiGroup;
-use tmo_sim::{ByteSize, SimDuration};
+use tmo_sim::{ByteSize, SeriesId, SimDuration};
 use tmo_workload::{AccessPlanner, AppProfile, WebServerModel};
 
 /// Identity of a container within one [`crate::Machine`].
@@ -123,6 +123,26 @@ pub struct Container {
     pub(crate) initial_resident_pages: u64,
     /// Stats of the most recent tick.
     pub(crate) last_tick: TickStats,
+    /// Cached recorder handles for this container's per-tick series,
+    /// resolved (and the names formatted) once on the first recorded
+    /// tick instead of on every tick.
+    pub(crate) series: Option<ContainerSeriesIds>,
+}
+
+/// Recorder handles for one container's per-tick metric series.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ContainerSeriesIds {
+    pub(crate) resident_mib: SeriesId,
+    pub(crate) swap_mib: SeriesId,
+    pub(crate) file_cache_mib: SeriesId,
+    pub(crate) psi_mem_some10: SeriesId,
+    pub(crate) psi_io_some10: SeriesId,
+    pub(crate) psi_cpu_some10: SeriesId,
+    pub(crate) promotion_rate: SeriesId,
+    pub(crate) refault_rate: SeriesId,
+    pub(crate) swapout_rate_mbps: SeriesId,
+    /// Only web containers record `{name}.rps`.
+    pub(crate) rps: Option<SeriesId>,
 }
 
 impl Container {

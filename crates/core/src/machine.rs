@@ -3,12 +3,12 @@
 use tmo_backends::{NvmDevice, OffloadBackend, SsdModel, ZswapAllocator, ZswapPool};
 use tmo_faults::{FaultConfig, FaultPlan, FaultyBackend, HostFaults, SignalFate};
 use tmo_mm::{MemoryManager, MmConfig, PageKind, ReclaimOutcome, ReclaimPolicy};
-use tmo_psi::{IntervalSet, PsiGroup, Resource, TaskObservation};
+use tmo_psi::{PsiGroup, Resource, SpanBatch};
 use tmo_senpai::{ContainerSignal, OomdSignal};
-use tmo_sim::{ByteSize, Clock, DetRng, Recorder, SimDuration, SimTime};
+use tmo_sim::{ByteSize, Clock, DetRng, Recorder, SeriesId, SimDuration, SimTime};
 use tmo_workload::{AccessPlanner, AppProfile, WebServerModel};
 
-use crate::container::{Container, ContainerConfig, ContainerId, TickStats};
+use crate::container::{Container, ContainerConfig, ContainerId, ContainerSeriesIds, TickStats};
 use crate::modulate::WorkloadModulator;
 
 /// Which offload backend the host's swap uses.
@@ -137,16 +137,17 @@ impl WorkingsetProfile {
 pub struct MachineScratch {
     /// Batched page ids drawn for one temperature class.
     batch_ids: Vec<tmo_mm::PageId>,
-    /// Batched access outcomes for the same class.
-    batch_out: Vec<tmo_mm::AccessOutcome>,
     /// Per-class touch counts for one container tick.
     plan: Vec<u64>,
     /// Swap-in latencies observed during one tick.
     swap_latencies: Vec<f64>,
     /// Per-container tick stats for one tick.
     all_stats: Vec<TickStats>,
-    /// Machine-wide PSI observations for one tick.
-    host_observations: Vec<TaskObservation>,
+    /// Packed stall spans for one container's PSI window.
+    container_batch: SpanBatch,
+    /// Packed stall spans for the machine-wide PSI window (all
+    /// containers' tasks in one batch).
+    host_batch: SpanBatch,
 }
 
 impl MachineScratch {
@@ -154,11 +155,11 @@ impl MachineScratch {
     /// handoff; only the allocations do.
     fn scrub(&mut self) {
         self.batch_ids.clear();
-        self.batch_out.clear();
         self.plan.clear();
         self.swap_latencies.clear();
         self.all_stats.clear();
-        self.host_observations.clear();
+        self.container_batch.clear();
+        self.host_batch.clear();
     }
 }
 
@@ -197,6 +198,25 @@ pub struct Machine {
     /// Reusable tick-path buffers (see [`MachineScratch`]); recyclable
     /// across machines via `with_scratch`/`into_scratch`.
     scratch: MachineScratch,
+    /// Cached recorder handles for the machine-level series, resolved on
+    /// the first recorded tick so steady-state ticks skip name lookups.
+    machine_series: Option<MachineSeriesIds>,
+    /// Cached handle for `swap.read_p90_ms`, resolved lazily on the
+    /// first tick that observes a swap-in (the series only exists on
+    /// runs that actually swap, same as before).
+    swap_p90_id: Option<SeriesId>,
+}
+
+/// Recorder handles for the per-tick machine-wide series.
+#[derive(Debug, Clone, Copy)]
+struct MachineSeriesIds {
+    psi_mem_some10: SeriesId,
+    free_mib: SeriesId,
+    zswap_pool_mib: SeriesId,
+    fs_read_iops: SeriesId,
+    /// `None` when the swap backend is not an SSD (series never exists).
+    swap_write_mbps: Option<SeriesId>,
+    swap_read_iops: Option<SeriesId>,
 }
 
 impl Machine {
@@ -308,6 +328,8 @@ impl Machine {
             signal_cache: Vec::new(),
             modulator: None,
             scratch,
+            machine_series: None,
+            swap_p90_id: None,
         }
     }
 
@@ -526,6 +548,7 @@ impl Machine {
             leak_carry: 0.0,
             initial_resident_pages,
             last_tick: TickStats::default(),
+            series: None,
         });
         if cfg.protected {
             self.mm.set_priority(cg, tmo_mm::ReclaimPriority::Strict);
@@ -573,24 +596,26 @@ impl Machine {
         } else {
             0.0
         };
-        let mut host_observations = std::mem::take(&mut self.scratch.host_observations);
-        host_observations.clear();
+        let mut container_batch = std::mem::take(&mut self.scratch.container_batch);
+        let mut host_batch = std::mem::take(&mut self.scratch.host_batch);
+        host_batch.clear();
         for (ci, stats) in all_stats.iter_mut().enumerate() {
             if self.containers[ci].alive {
                 stats.cpu_stall = stats.cpu_demand.mul_f64(overload);
-                host_observations.extend(self.feed_psi(ci, stats, dt));
+                self.feed_psi(ci, stats, dt, &mut container_batch, &mut host_batch);
             }
             self.containers[ci].last_tick = *stats;
         }
-        self.host_psi.observe(dt, &host_observations);
+        self.host_psi.observe_batch(dt, &host_batch);
 
         self.mm.tick(dt);
-        self.record_tick(now, &swap_latencies);
+        self.record_tick(now, &mut swap_latencies);
         // Return the accumulators before fault injection: an injected
         // host panic must not leak their capacity for the tick it fires.
         self.scratch.swap_latencies = swap_latencies;
         self.scratch.all_stats = all_stats;
-        self.scratch.host_observations = host_observations;
+        self.scratch.container_batch = container_batch;
+        self.scratch.host_batch = host_batch;
         self.inject_host_faults(dt);
     }
 
@@ -775,43 +800,34 @@ impl Machine {
             // Draw every page id for the class up front — the index
             // draws consume `self.rng` in the same order as a
             // one-at-a-time loop — then fault the whole batch through
-            // the mm's batched entry point, which short-circuits
-            // resident pages without a per-page cross-crate call.
+            // the mm's aggregating entry point, which short-circuits
+            // resident pages and folds counters inline instead of
+            // materializing an outcome per page.
             let mut ids = std::mem::take(&mut self.scratch.batch_ids);
-            let mut outcomes = std::mem::take(&mut self.scratch.batch_out);
             AccessPlanner::sample_batch_into(
                 &self.containers[ci].class_pages[class],
                 count,
                 &mut self.rng,
                 &mut ids,
             );
-            self.mm.access_batch_into(&ids, now, &mut outcomes);
-            for &outcome in &outcomes {
-                stats.accesses += 1;
-                if outcome.is_fault() {
-                    stats.faults += 1;
-                    if let tmo_mm::AccessOutcome::Fault { kind, latency, .. } = outcome {
-                        match kind {
-                            tmo_mm::FaultKind::SwapIn => {
-                                stats.swapins += 1;
-                                let secs = latency.as_secs_f64();
-                                swap_latencies.push(secs);
-                                self.swap_lat_p50.observe(secs);
-                                self.swap_lat_p90.observe(secs);
-                                self.swap_lat_p99.observe(secs);
-                                self.swap_lat_mean.observe(secs);
-                            }
-                            tmo_mm::FaultKind::Refault => stats.refaults += 1,
-                            tmo_mm::FaultKind::ColdFileRead => {}
-                        }
-                    }
-                }
-                stats.stall += outcome.stall();
-                stats.mem_stall += outcome.memory_stall();
-                stats.io_stall += outcome.io_stall();
+            let first_lat = swap_latencies.len();
+            let batch = self.mm.access_batch_stats(&ids, now, swap_latencies);
+            // Swap-in latencies feed the streaming estimators in the
+            // same occurrence order as the former per-outcome loop.
+            for &secs in &swap_latencies[first_lat..] {
+                self.swap_lat_p50.observe(secs);
+                self.swap_lat_p90.observe(secs);
+                self.swap_lat_p99.observe(secs);
+                self.swap_lat_mean.observe(secs);
             }
+            stats.accesses += batch.accesses;
+            stats.faults += batch.faults;
+            stats.swapins += batch.swapins;
+            stats.refaults += batch.refaults;
+            stats.stall += batch.stall;
+            stats.mem_stall += batch.mem_stall;
+            stats.io_stall += batch.io_stall;
             self.scratch.batch_ids = ids;
-            self.scratch.batch_out = outcomes;
         }
         self.scratch.plan = plan;
         stats.cpu_demand = self.config.access_cpu * stats.accesses;
@@ -842,124 +858,199 @@ impl Machine {
     /// total is split evenly across the container's tasks, each share
     /// placed at an independent random offset within the tick so overlap
     /// (and thus `full`) emerges statistically rather than by
-    /// construction. Returns the observations so the caller can also
-    /// aggregate them into the machine-wide domain.
-    fn feed_psi(&mut self, ci: usize, stats: &TickStats, dt: SimDuration) -> Vec<TaskObservation> {
+    /// construction. The spans go into two packed batches at once — the
+    /// container's own (cleared here, observed at the end) and the
+    /// machine-wide one the caller accumulates across containers — so
+    /// neither domain allocates per-task observation structs. The RNG
+    /// draw order and count are identical to the former per-observation
+    /// form: one `below` draw per nonzero stall share, resources in
+    /// (Memory, Io, Cpu) order per task.
+    fn feed_psi(
+        &mut self,
+        ci: usize,
+        stats: &TickStats,
+        dt: SimDuration,
+        container_batch: &mut SpanBatch,
+        host_batch: &mut SpanBatch,
+    ) {
         let tasks = self.containers[ci].profile.tasks.max(1) as u64;
         let window_ns = dt.as_nanos();
-        let mut observations = Vec::with_capacity(tasks as usize);
+        // Every task gets the same per-resource share, so the divides
+        // (and the min against the window) hoist out of the task loop;
+        // only the `below` draws — one per task per nonzero share, in
+        // the contract's (Memory, Io, Cpu) order — stay inside.
+        let shares: [(Resource, u64, u64, u64); 3] = [
+            (Resource::Memory, stats.mem_stall.as_nanos()),
+            (Resource::Io, stats.io_stall.as_nanos()),
+            (Resource::Cpu, stats.cpu_stall.as_nanos()),
+        ]
+        .map(|(r, total_ns)| {
+            let share_ns = (total_ns / tasks).min(window_ns);
+            let max_start = window_ns - share_ns;
+            // Rejection threshold for the start draw, hoisted out of
+            // the task loop (every task shares the bound).
+            let threshold = if share_ns > 0 && max_start > 0 {
+                tmo_sim::DetRng::below_threshold(max_start)
+            } else {
+                0
+            };
+            (r, share_ns, max_start, threshold)
+        });
+        container_batch.clear();
         for _ in 0..tasks {
-            let mut obs = TaskObservation::non_idle();
-            for (resource, total) in [
-                (Resource::Memory, stats.mem_stall),
-                (Resource::Io, stats.io_stall),
-                (Resource::Cpu, stats.cpu_stall),
-            ] {
-                let share_ns = (total.as_nanos() / tasks).min(window_ns);
+            container_batch.push_non_idle_task();
+            host_batch.push_non_idle_task();
+            for (resource, share_ns, max_start, threshold) in shares {
                 if share_ns > 0 {
-                    let max_start = window_ns - share_ns;
                     let start = if max_start > 0 {
-                        self.rng.below(max_start)
+                        self.rng.below_with(max_start, threshold)
                     } else {
                         0
                     };
-                    obs.stall(
-                        resource,
-                        IntervalSet::from_spans(&[(start, start + share_ns)]),
-                    );
+                    container_batch.push_span(resource, start, start + share_ns);
+                    host_batch.push_span(resource, start, start + share_ns);
                 }
             }
-            observations.push(obs);
         }
-        self.containers[ci].psi.observe(dt, &observations);
-        observations
+        self.containers[ci].psi.observe_batch(dt, container_batch);
     }
 
-    fn record_tick(&mut self, now: SimTime, swap_latencies: &[f64]) {
+    /// Resolves (and caches) the recorder handles for one container's
+    /// per-tick series. The name formatting and B-tree lookups happen
+    /// once per container per run; every later tick appends through the
+    /// cached [`SeriesId`]s. The recorder's name index keeps observable
+    /// output sorted by name regardless of resolution order.
+    fn container_series(&mut self, ci: usize) -> ContainerSeriesIds {
+        if let Some(ids) = self.containers[ci].series {
+            return ids;
+        }
+        let name = &self.containers[ci].name;
+        let rec = &mut self.recorder;
+        let ids = ContainerSeriesIds {
+            resident_mib: rec.series_id(&format!("{name}.resident_mib")),
+            swap_mib: rec.series_id(&format!("{name}.swap_mib")),
+            file_cache_mib: rec.series_id(&format!("{name}.file_cache_mib")),
+            psi_mem_some10: rec.series_id(&format!("{name}.psi_mem_some10")),
+            psi_io_some10: rec.series_id(&format!("{name}.psi_io_some10")),
+            psi_cpu_some10: rec.series_id(&format!("{name}.psi_cpu_some10")),
+            promotion_rate: rec.series_id(&format!("{name}.promotion_rate")),
+            refault_rate: rec.series_id(&format!("{name}.refault_rate")),
+            swapout_rate_mbps: rec.series_id(&format!("{name}.swapout_rate_mbps")),
+            rps: self.containers[ci]
+                .web
+                .is_some()
+                .then(|| rec.series_id(&format!("{name}.rps"))),
+        };
+        self.containers[ci].series = Some(ids);
+        ids
+    }
+
+    fn record_tick(&mut self, now: SimTime, swap_latencies: &mut [f64]) {
         let page = self.config.page_size;
         for ci in 0..self.containers.len() {
-            let name = self.containers[ci].name.clone();
+            let ids = self.container_series(ci);
             let cg = self.containers[ci].cg;
             let stat = self.mm.cgroup_stat(cg);
             let psi = &self.containers[ci].psi;
+            let psi_mem = psi.some_avg10(Resource::Memory) * 100.0;
+            let psi_io = psi.some_avg10(Resource::Io) * 100.0;
+            let psi_cpu = psi.some_avg10(Resource::Cpu) * 100.0;
             let rec = &mut self.recorder;
-            rec.record(
-                &format!("{name}.resident_mib"),
+            rec.record_id(
+                ids.resident_mib,
                 now,
                 stat.resident().to_bytes(page).as_mib(),
             );
-            rec.record(
-                &format!("{name}.swap_mib"),
+            rec.record_id(
+                ids.swap_mib,
                 now,
                 stat.anon_offloaded.to_bytes(page).as_mib(),
             );
-            rec.record(
-                &format!("{name}.file_cache_mib"),
+            rec.record_id(
+                ids.file_cache_mib,
                 now,
                 stat.file_resident.to_bytes(page).as_mib(),
             );
-            rec.record(
-                &format!("{name}.psi_mem_some10"),
-                now,
-                psi.some_avg10(Resource::Memory) * 100.0,
-            );
-            rec.record(
-                &format!("{name}.psi_io_some10"),
-                now,
-                psi.some_avg10(Resource::Io) * 100.0,
-            );
-            rec.record(
-                &format!("{name}.psi_cpu_some10"),
-                now,
-                psi.some_avg10(Resource::Cpu) * 100.0,
-            );
-            rec.record(&format!("{name}.promotion_rate"), now, stat.swapin_rate);
-            rec.record(&format!("{name}.refault_rate"), now, stat.refault_rate);
-            rec.record(
-                &format!("{name}.swapout_rate_mbps"),
+            rec.record_id(ids.psi_mem_some10, now, psi_mem);
+            rec.record_id(ids.psi_io_some10, now, psi_io);
+            rec.record_id(ids.psi_cpu_some10, now, psi_cpu);
+            rec.record_id(ids.promotion_rate, now, stat.swapin_rate);
+            rec.record_id(ids.refault_rate, now, stat.refault_rate);
+            rec.record_id(
+                ids.swapout_rate_mbps,
                 now,
                 stat.swapout_rate * page.as_u64() as f64 / 1e6,
             );
-            if let Some(web) = self.containers[ci].web.as_ref() {
-                rec.record(&format!("{name}.rps"), now, web.rps());
+            if let (Some(rps_id), Some(web)) = (ids.rps, self.containers[ci].web.as_ref()) {
+                rec.record_id(rps_id, now, web.rps());
             }
         }
+        let machine_ids = match self.machine_series {
+            Some(ids) => ids,
+            None => {
+                let has_swap_ssd = self.mm.swap_ssd().is_some();
+                let rec = &mut self.recorder;
+                let ids = MachineSeriesIds {
+                    psi_mem_some10: rec.series_id("machine.psi_mem_some10"),
+                    free_mib: rec.series_id("machine.free_mib"),
+                    zswap_pool_mib: rec.series_id("machine.zswap_pool_mib"),
+                    fs_read_iops: rec.series_id("fs.read_iops"),
+                    swap_write_mbps: has_swap_ssd.then(|| rec.series_id("swap.write_mbps")),
+                    swap_read_iops: has_swap_ssd.then(|| rec.series_id("swap.read_iops")),
+                };
+                self.machine_series = Some(ids);
+                ids
+            }
+        };
         let g = self.mm.global_stat();
-        self.recorder.record(
-            "machine.psi_mem_some10",
+        self.recorder.record_id(
+            machine_ids.psi_mem_some10,
             now,
             self.host_psi.some_avg10(Resource::Memory) * 100.0,
         );
         self.recorder
-            .record("machine.free_mib", now, g.free_bytes.as_mib());
+            .record_id(machine_ids.free_mib, now, g.free_bytes.as_mib());
         self.recorder
-            .record("machine.zswap_pool_mib", now, g.zswap_pool_bytes.as_mib());
+            .record_id(machine_ids.zswap_pool_mib, now, g.zswap_pool_bytes.as_mib());
 
         // Device rates.
         let fs_reads = self.mm.fs_device().stats().reads;
         let dt_secs = self.config.tick.as_secs_f64();
-        self.recorder.record(
-            "fs.read_iops",
+        self.recorder.record_id(
+            machine_ids.fs_read_iops,
             now,
             (fs_reads - self.prev_fs_reads) as f64 / dt_secs,
         );
         self.prev_fs_reads = fs_reads;
         if let Some(swap) = self.mm.swap_ssd() {
-            self.recorder
-                .record("swap.write_mbps", now, swap.write_rate_mbps());
+            let write_mbps = swap.write_rate_mbps();
             let reads = swap.stats().reads;
-            self.recorder.record(
-                "swap.read_iops",
+            let write_id = machine_ids.swap_write_mbps.expect("cached with SSD swap");
+            let read_id = machine_ids.swap_read_iops.expect("cached with SSD swap");
+            self.recorder.record_id(write_id, now, write_mbps);
+            self.recorder.record_id(
+                read_id,
                 now,
                 (reads - self.prev_swap_reads) as f64 / dt_secs,
             );
             self.prev_swap_reads = reads;
         }
         if !swap_latencies.is_empty() {
-            let mut lats = swap_latencies.to_vec();
-            lats.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let p90 = lats[(lats.len() as f64 * 0.9) as usize % lats.len()];
-            self.recorder.record("swap.read_p90_ms", now, p90 * 1e3);
+            // Sorting the tick-local buffer in place is fine: it is
+            // cleared at the start of the next tick and nothing reads
+            // it again, so no observable order changes.
+            swap_latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let p90 =
+                swap_latencies[(swap_latencies.len() as f64 * 0.9) as usize % swap_latencies.len()];
+            let id = match self.swap_p90_id {
+                Some(id) => id,
+                None => {
+                    let id = self.recorder.series_id("swap.read_p90_ms");
+                    self.swap_p90_id = Some(id);
+                    id
+                }
+            };
+            self.recorder.record_id(id, now, p90 * 1e3);
         }
     }
 

@@ -122,10 +122,13 @@ impl TmoRuntime {
     pub fn tick(&mut self) {
         self.machine.tick();
         let now = self.machine.now();
-        let ids: Vec<ContainerId> = self.machine.container_ids().collect();
+        // Index loop instead of collecting ids: ticking must not
+        // allocate in steady state, and the count is re-read where new
+        // containers may have appeared mid-loop.
+        let count = self.machine.container_count();
         if let Some(oomd) = &mut self.oomd {
             let dt = self.machine.config().tick;
-            for &id in &ids {
+            for id in (0..count).map(ContainerId) {
                 if !self.machine.is_alive(id) {
                     continue;
                 }
@@ -153,7 +156,7 @@ impl TmoRuntime {
             ControllerKind::None => {}
             ControllerKind::Senpai(senpai) => {
                 if senpai.due(now) {
-                    for id in ids {
+                    for id in (0..count).map(ContainerId) {
                         if !self.machine.is_alive(id) {
                             continue;
                         }
@@ -166,7 +169,7 @@ impl TmoRuntime {
                 controllers,
             } => {
                 // Materialise controllers for any newly added containers.
-                while controllers.len() < ids.len() {
+                while controllers.len() < count {
                     let name = self
                         .machine
                         .container(ContainerId(controllers.len()))
@@ -174,7 +177,7 @@ impl TmoRuntime {
                         .to_string();
                     controllers.push(Senpai::new(policies.config_for(&name).clone()));
                 }
-                for id in ids {
+                for id in (0..count).map(ContainerId) {
                     if !self.machine.is_alive(id) {
                         continue;
                     }
@@ -186,7 +189,7 @@ impl TmoRuntime {
             }
             ControllerKind::Gswap(gswap) => {
                 if gswap.due(now) {
-                    for id in ids {
+                    for id in (0..count).map(ContainerId) {
                         if !self.machine.is_alive(id) {
                             continue;
                         }

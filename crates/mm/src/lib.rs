@@ -51,5 +51,7 @@ pub use cgroup::{CgroupId, ReclaimPriority};
 pub use manager::{MemoryManager, MmConfig};
 pub use page::{LruTier, PageId, PageKind};
 pub use reclaim::ReclaimPolicy;
-pub use stats::{AccessOutcome, CgroupStat, FaultKind, GlobalStat, ReclaimOutcome};
+pub use stats::{
+    AccessOutcome, BatchAccessStats, CgroupStat, FaultKind, GlobalStat, ReclaimOutcome,
+};
 pub use workingset::RateCounter;

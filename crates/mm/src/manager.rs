@@ -14,7 +14,9 @@ use crate::page::{
     LruTier, Page, PageId, PageKind, PageMeta, PageState, FLAG_INACTIVE, FLAG_REFERENCED,
 };
 use crate::reclaim::{BalanceInputs, ReclaimPolicy};
-use crate::stats::{AccessOutcome, CgroupStat, FaultKind, GlobalStat, ReclaimOutcome};
+use crate::stats::{
+    AccessOutcome, BatchAccessStats, CgroupStat, FaultKind, GlobalStat, ReclaimOutcome,
+};
 
 /// Modelled CPU cost of scanning one page during reclaim.
 const SCAN_COST: SimDuration = SimDuration::from_nanos(500);
@@ -104,6 +106,11 @@ pub struct MemoryManager {
     free_slots: Vec<u64>,
     cgroups: Vec<Cgroup>,
     swap: Option<Box<dyn OffloadBackend>>,
+    /// Whether `swap` reports [`BackendKind::Zswap`]. A backend's kind
+    /// is fixed for its lifetime; caching it keeps the free-page
+    /// computation — on the per-fault path via `ensure_free` — from
+    /// going through the vtable for non-zswap machines.
+    swap_is_zswap: bool,
     fs: SsdDevice,
     policy: ReclaimPolicy,
     rng: DetRng,
@@ -123,6 +130,10 @@ impl MemoryManager {
         assert!(!config.page_size.is_zero(), "page size must be non-zero");
         let total_pages = config.total_dram.as_u64() / config.page_size.as_u64();
         assert!(total_pages > 0, "DRAM smaller than one page");
+        let swap_is_zswap = config
+            .swap
+            .as_ref()
+            .is_some_and(|b| b.kind() == BackendKind::Zswap);
         MemoryManager {
             page_size: config.page_size,
             total_pages,
@@ -130,6 +141,7 @@ impl MemoryManager {
             free_slots: Vec::new(),
             cgroups: Vec::new(),
             swap: config.swap,
+            swap_is_zswap,
             fs: config.fs_device,
             policy: config.policy,
             rng: DetRng::seed_from_u64(config.seed),
@@ -246,13 +258,16 @@ impl MemoryManager {
     // ------------------------------------------------------------------
 
     fn zswap_pool_pages(&self) -> u64 {
+        if !self.swap_is_zswap {
+            return 0;
+        }
         match &self.swap {
-            Some(b) if b.kind() == BackendKind::Zswap => b
+            Some(b) => b
                 .stats()
                 .bytes_stored
                 .div_ceil_pages(self.page_size)
                 .as_u64(),
-            _ => 0,
+            None => 0,
         }
     }
 
@@ -604,6 +619,60 @@ impl MemoryManager {
         let mut out = Vec::new();
         self.access_batch_into(ids, now, &mut out);
         out
+    }
+
+    /// Like [`MemoryManager::access_batch_into`] but folds each outcome
+    /// into aggregate [`BatchAccessStats`] on the spot instead of
+    /// materializing an outcome per page. Swap-in fault latencies are
+    /// appended to `swap_latencies_secs` (in seconds, occurrence order)
+    /// for latency-quantile tracking. Behavior and RNG-draw order are
+    /// identical to `access_batch_into`; the sums are commutative, so
+    /// the totals match a caller-side loop over the outcome vector.
+    pub fn access_batch_stats(
+        &mut self,
+        ids: &[PageId],
+        now: SimTime,
+        swap_latencies_secs: &mut Vec<f64>,
+    ) -> BatchAccessStats {
+        let mut stats = BatchAccessStats::default();
+        for &id in ids {
+            let meta = &mut self.pages[id.0 as usize];
+            let fast = meta.is_resident()
+                && meta.flags & (FLAG_INACTIVE | FLAG_REFERENCED)
+                    != (FLAG_INACTIVE | FLAG_REFERENCED);
+            if fast {
+                meta.last_access = now;
+                meta.flags |= FLAG_REFERENCED;
+                stats.accesses += 1;
+            } else {
+                // Slow path: activation or fault. Dispatch on the state
+                // already loaded instead of re-reading the slot through
+                // `access` (same transitions, same RNG draws).
+                let outcome = if meta.is_resident() {
+                    self.access(id, now)
+                } else {
+                    let owner = meta.owner();
+                    match meta.state() {
+                        PageState::Offloaded { token } => self.swap_in(id, owner, token, now),
+                        PageState::EvictedFile { shadow } => {
+                            self.file_fault(id, owner, shadow, now)
+                        }
+                        PageState::Freed => panic!("access to freed {id}"),
+                        PageState::Resident { .. } => unreachable!("handled above"),
+                    }
+                };
+                if let AccessOutcome::Fault {
+                    kind: FaultKind::SwapIn,
+                    latency,
+                    ..
+                } = outcome
+                {
+                    swap_latencies_secs.push(latency.as_secs_f64());
+                }
+                stats.fold(outcome);
+            }
+        }
+        stats
     }
 
     fn swap_in(&mut self, id: PageId, owner: CgroupId, token: u64, now: SimTime) -> AccessOutcome {

@@ -89,6 +89,48 @@ impl AccessOutcome {
     }
 }
 
+/// Aggregated counters for one batch of page accesses, folded inline by
+/// [`MemoryManager::access_batch_stats`](crate::MemoryManager::access_batch_stats)
+/// so steady-state ticks never materialize a per-page outcome vector.
+/// Every field is a commutative sum of per-outcome contributions, so the
+/// totals equal what a caller looping over [`AccessOutcome`]s would
+/// accumulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchAccessStats {
+    /// Pages touched.
+    pub accesses: u64,
+    /// Accesses that missed DRAM.
+    pub faults: u64,
+    /// Faults that were swap-ins.
+    pub swapins: u64,
+    /// Faults that were workingset refaults.
+    pub refaults: u64,
+    /// Total stall across the batch ([`AccessOutcome::stall`]).
+    pub stall: SimDuration,
+    /// Memory-PSI-qualifying stall ([`AccessOutcome::memory_stall`]).
+    pub mem_stall: SimDuration,
+    /// IO-PSI-qualifying stall ([`AccessOutcome::io_stall`]).
+    pub io_stall: SimDuration,
+}
+
+impl BatchAccessStats {
+    /// Folds one access outcome into the running totals.
+    pub fn fold(&mut self, outcome: AccessOutcome) {
+        self.accesses += 1;
+        if let AccessOutcome::Fault { kind, .. } = outcome {
+            self.faults += 1;
+            match kind {
+                FaultKind::SwapIn => self.swapins += 1,
+                FaultKind::Refault => self.refaults += 1,
+                FaultKind::ColdFileRead => {}
+            }
+        }
+        self.stall += outcome.stall();
+        self.mem_stall += outcome.memory_stall();
+        self.io_stall += outcome.io_stall();
+    }
+}
+
 /// Result of one reclaim request (`memory.reclaim` or direct reclaim).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReclaimOutcome {

@@ -70,6 +70,12 @@ pub struct RateCounter {
     pending: u64,
     rate: f64,
     total: u64,
+    /// Tick length the cached decay factor was computed for. Ticks are
+    /// almost always fixed-length, so caching the `exp` here takes it
+    /// off the per-tick path without changing any computed rate (the
+    /// cached value is the exact `f64` the recomputation would yield).
+    cached_dt_secs: f64,
+    cached_decay: f64,
 }
 
 impl RateCounter {
@@ -85,6 +91,8 @@ impl RateCounter {
             pending: 0,
             rate: 0.0,
             total: 0,
+            cached_dt_secs: 0.0,
+            cached_decay: 1.0,
         }
     }
 
@@ -99,8 +107,13 @@ impl RateCounter {
         if dt.is_zero() {
             return;
         }
-        let inst = self.pending as f64 / dt.as_secs_f64();
-        let decay = (-dt.as_secs_f64() / self.window_secs).exp();
+        let dt_secs = dt.as_secs_f64();
+        if dt_secs != self.cached_dt_secs {
+            self.cached_dt_secs = dt_secs;
+            self.cached_decay = (-dt_secs / self.window_secs).exp();
+        }
+        let inst = self.pending as f64 / dt_secs;
+        let decay = self.cached_decay;
         self.rate = self.rate * decay + inst * (1.0 - decay);
         self.pending = 0;
     }

@@ -40,6 +40,12 @@ pub const WINDOW_300S: SimDuration = SimDuration::from_secs(300);
 pub struct RunningAvg {
     window_secs: f64,
     value: f64,
+    /// Sampling period the cached decay factor was computed for.
+    /// Simulation ticks are fixed-length, so the `exp` effectively runs
+    /// once per run instead of once per update; the cache returns the
+    /// exact `f64` the recomputation would, so averages are unchanged.
+    cached_dt_secs: f64,
+    cached_decay: f64,
 }
 
 impl RunningAvg {
@@ -53,6 +59,8 @@ impl RunningAvg {
         RunningAvg {
             window_secs: window.as_secs_f64(),
             value: 0.0,
+            cached_dt_secs: 0.0,
+            cached_decay: 1.0,
         }
     }
 
@@ -68,7 +76,12 @@ impl RunningAvg {
             return;
         }
         let r = r.clamp(0.0, 1.0);
-        let decay = (-dt.as_secs_f64() / self.window_secs).exp();
+        let dt_secs = dt.as_secs_f64();
+        if dt_secs != self.cached_dt_secs {
+            self.cached_dt_secs = dt_secs;
+            self.cached_decay = (-dt_secs / self.window_secs).exp();
+        }
+        let decay = self.cached_decay;
         self.value = self.value * decay + r * (1.0 - decay);
     }
 }

@@ -9,7 +9,7 @@
 use tmo_sim::{SimDuration, SimTime};
 
 use crate::avg::AvgSet;
-use crate::intervals::{intersect_all, union_all, IntervalSet};
+use crate::intervals::{IntervalSet, SweepScratch};
 use crate::triggers::Trigger;
 
 /// The resources PSI tracks, mirroring `/proc/pressure/{cpu,memory,io}`.
@@ -97,6 +97,66 @@ impl TaskObservation {
     }
 }
 
+/// Packed per-window stall observations for [`PsiGroup::observe_batch`]
+/// — the allocation-free alternative to building a
+/// `Vec<TaskObservation>` per window.
+///
+/// A producer counts each non-idle task with
+/// [`SpanBatch::push_non_idle_task`] and appends that task's stall
+/// spans (window-relative nanosecond offsets) with
+/// [`SpanBatch::push_span`]. Idle tasks are simply not pushed: they
+/// contribute neither spans nor to the `full` denominator, matching how
+/// [`PsiGroup::observe`] ignores them. The three per-resource span
+/// vectors are retained across [`SpanBatch::clear`] calls, so a
+/// steady-state producer allocates nothing.
+///
+/// The only correctness contract is the one [`TaskObservation`] also
+/// enforces via interval-set normalisation: the spans one task pushes
+/// for one resource must be disjoint (a task cannot be stalled twice at
+/// the same instant). Spans from different tasks may overlap freely.
+#[derive(Debug, Clone, Default)]
+pub struct SpanBatch {
+    non_idle: usize,
+    spans: [Vec<(u64, u64)>; 3],
+}
+
+impl SpanBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        SpanBatch::default()
+    }
+
+    /// Resets the batch for a new window, keeping buffer capacity.
+    pub fn clear(&mut self) {
+        self.non_idle = 0;
+        for spans in &mut self.spans {
+            spans.clear();
+        }
+    }
+
+    /// Counts one non-idle task into the window. The task's stall
+    /// spans, if any, follow via [`SpanBatch::push_span`].
+    pub fn push_non_idle_task(&mut self) {
+        self.non_idle += 1;
+    }
+
+    /// Records one `[start, end)` stall span (ns offsets relative to
+    /// the window start) for the current task on `resource`.
+    pub fn push_span(&mut self, resource: Resource, start: u64, end: u64) {
+        self.spans[resource.index()].push((start, end));
+    }
+
+    /// Number of non-idle tasks pushed.
+    pub fn non_idle_tasks(&self) -> usize {
+        self.non_idle
+    }
+
+    /// Total stall spans recorded across all resources.
+    pub fn span_count(&self) -> usize {
+        self.spans.iter().map(Vec::len).sum()
+    }
+}
+
 /// Per-resource accumulated state.
 #[derive(Debug, Clone)]
 struct ResourceState {
@@ -159,8 +219,11 @@ pub struct PsiGroup {
     wall_total: SimDuration,
     /// Registered pressure triggers and their watched resource.
     triggers: Vec<(Resource, Trigger)>,
-    /// Trigger indexes that fired during the latest `observe`.
+    /// Trigger indexes that fired during the latest `observe`; reused
+    /// across windows so the trigger scan never allocates.
     fired: Vec<usize>,
+    /// Reusable edge-event buffer for the union/intersection sweep.
+    sweep: SweepScratch,
 }
 
 impl PsiGroup {
@@ -185,6 +248,7 @@ impl PsiGroup {
             wall_total: SimDuration::ZERO,
             triggers: Vec::new(),
             fired: Vec::new(),
+            sweep: SweepScratch::new(),
         }
     }
 
@@ -230,6 +294,14 @@ impl PsiGroup {
     /// `full` counts time where *all* non-idle tasks were stalled
     /// simultaneously (and at least one task was non-idle). Idle tasks
     /// are excluded entirely, matching the paper's definition.
+    /// The hot path runs allocation-free: per resource, every non-idle
+    /// task's (already normalised) stall intervals are pushed into the
+    /// group's reusable [`SweepScratch`] — clipped to the window span
+    /// by span — and one sort-and-sweep reads the union (`some`) and
+    /// k-way intersection (`full`) measures off the coverage count.
+    /// Both are integer-identical to the former merge-based
+    /// `union_all`/`intersect_all` computation, so ratios, averages,
+    /// totals, and trigger decisions are bit-identical.
     pub fn observe(&mut self, window: SimDuration, tasks: &[TaskObservation]) {
         if window.is_zero() {
             return;
@@ -237,48 +309,45 @@ impl PsiGroup {
         self.fired.clear();
         self.wall_total += window;
         let window_ns = window.as_nanos();
-        let non_idle: Vec<&TaskObservation> = tasks.iter().filter(|t| t.is_non_idle()).collect();
-
+        let k = tasks.iter().filter(|t| t.is_non_idle()).count();
+        let mut sweep = std::mem::take(&mut self.sweep);
         for resource in Resource::ALL {
-            let stall_sets: Vec<IntervalSet> = non_idle
-                .iter()
-                .map(|t| t.stalls(resource).clip(window_ns))
-                .collect();
-
-            let some_ns = union_all(stall_sets.iter()).total_len();
-            let full_ns = if stall_sets.is_empty() {
-                0
-            } else {
-                intersect_all(stall_sets.iter())
-                    .map(|s| s.total_len())
-                    .unwrap_or(0)
-            };
-
-            let some_ratio = some_ns as f64 / window_ns as f64;
-            let full_ratio = full_ns as f64 / window_ns as f64;
-
-            let state = &mut self.resources[resource.index()];
-            state.some_total += SimDuration::from_nanos(some_ns);
-            state.full_total += SimDuration::from_nanos(full_ns);
-            state.some_avg.update(some_ratio, window);
-            state.full_avg.update(full_ratio, window);
-            state.last_some_ratio = some_ratio;
-            state.last_full_ratio = full_ratio;
-
-            // Feed registered triggers with this window's stall deltas.
-            let now = SimTime::ZERO + self.wall_total;
-            for (i, (res, trigger)) in self.triggers.iter_mut().enumerate() {
-                if *res == resource
-                    && trigger.observe(
-                        now,
-                        SimDuration::from_nanos(some_ns),
-                        SimDuration::from_nanos(full_ns),
-                    )
-                {
-                    self.fired.push(i);
+            sweep.clear();
+            for task in tasks.iter().filter(|t| t.is_non_idle()) {
+                for iv in task.stalls(resource).intervals() {
+                    sweep.push_span(iv.start, iv.end, window_ns);
                 }
             }
+            let (some_ns, full_ns) = sweep.measure(k);
+            self.apply_window(resource, window, window_ns, some_ns, full_ns);
         }
+        self.sweep = sweep;
+    }
+
+    /// Batched form of [`PsiGroup::observe`] over a packed [`SpanBatch`]
+    /// instead of per-task observation structs. Outcome-identical to
+    /// building one `TaskObservation` per pushed task (each with the
+    /// same spans) and calling `observe`; the point is that a machine
+    /// tick can assemble stalls for *all* tasks of *all* containers
+    /// into flat span vectors and pay zero allocation per window.
+    pub fn observe_batch(&mut self, window: SimDuration, batch: &SpanBatch) {
+        if window.is_zero() {
+            return;
+        }
+        self.fired.clear();
+        self.wall_total += window;
+        let window_ns = window.as_nanos();
+        let k = batch.non_idle;
+        let mut sweep = std::mem::take(&mut self.sweep);
+        for resource in Resource::ALL {
+            sweep.clear();
+            for &(start, end) in &batch.spans[resource.index()] {
+                sweep.push_span(start, end, window_ns);
+            }
+            let (some_ns, full_ns) = sweep.measure(k);
+            self.apply_window(resource, window, window_ns, some_ns, full_ns);
+        }
+        self.sweep = sweep;
     }
 
     /// Convenience for rate-model callers: ingests a window where each
@@ -288,25 +357,67 @@ impl PsiGroup {
     ///
     /// This is conservative for `full` (stalls overlap maximally) and
     /// exact for single-task domains. `stalls_per_task[i][r]` is task
-    /// `i`'s stall time on `Resource::ALL[r]`.
+    /// `i`'s stall time on `Resource::ALL[r]`. Allocation-free: the
+    /// spans go straight into the group's sweep scratch.
     pub fn observe_totals(&mut self, window: SimDuration, stalls_per_task: &[[SimDuration; 3]]) {
+        if window.is_zero() {
+            return;
+        }
+        self.fired.clear();
+        self.wall_total += window;
         let window_ns = window.as_nanos();
-        let tasks: Vec<TaskObservation> = stalls_per_task
-            .iter()
-            .map(|stalls| {
-                let mut t = TaskObservation::non_idle();
-                for (r, &d) in Resource::ALL.iter().zip(stalls.iter()) {
-                    if !d.is_zero() {
-                        t.stall(
-                            *r,
-                            IntervalSet::from_spans(&[(0, d.as_nanos().min(window_ns))]),
-                        );
-                    }
+        let k = stalls_per_task.len();
+        let mut sweep = std::mem::take(&mut self.sweep);
+        for resource in Resource::ALL {
+            sweep.clear();
+            for stalls in stalls_per_task {
+                let d = stalls[resource.index()];
+                if !d.is_zero() {
+                    sweep.push_span(0, d.as_nanos(), window_ns);
                 }
-                t
-            })
-            .collect();
-        self.observe(window, &tasks);
+            }
+            let (some_ns, full_ns) = sweep.measure(k);
+            self.apply_window(resource, window, window_ns, some_ns, full_ns);
+        }
+        self.sweep = sweep;
+    }
+
+    /// Folds one resource's window measures into totals, averages, last
+    /// ratios, and registered triggers — shared by every observe form.
+    fn apply_window(
+        &mut self,
+        resource: Resource,
+        window: SimDuration,
+        window_ns: u64,
+        some_ns: u64,
+        full_ns: u64,
+    ) {
+        let some_ratio = some_ns as f64 / window_ns as f64;
+        let full_ratio = full_ns as f64 / window_ns as f64;
+
+        let state = &mut self.resources[resource.index()];
+        state.some_total += SimDuration::from_nanos(some_ns);
+        state.full_total += SimDuration::from_nanos(full_ns);
+        state.some_avg.update(some_ratio, window);
+        state.full_avg.update(full_ratio, window);
+        state.last_some_ratio = some_ratio;
+        state.last_full_ratio = full_ratio;
+
+        // Feed registered triggers with this window's stall deltas, in
+        // registration order within the resource (the firing order the
+        // controller stack observes).
+        let now = SimTime::ZERO + self.wall_total;
+        for (i, (res, trigger)) in self.triggers.iter_mut().enumerate() {
+            if *res == resource
+                && trigger.observe(
+                    now,
+                    SimDuration::from_nanos(some_ns),
+                    SimDuration::from_nanos(full_ns),
+                )
+            {
+                self.fired.push(i);
+            }
+        }
     }
 
     /// Reads the current pressure state for one resource.

@@ -179,6 +179,97 @@ impl FromIterator<(u64, u64)> for IntervalSet {
     }
 }
 
+/// Reusable scratch for measuring the k-way union and intersection of
+/// interval sets in place, without allocating per call.
+///
+/// This is the PSI hot path's replacement for
+/// [`union_all`]`().total_len()` + [`intersect_all`]`().total_len()`:
+/// instead of materialising merged sets, every span is pushed as a pair
+/// of edge events (`+1` at its start, `-1` at its end), and one
+/// sort-and-sweep reads both measures off the coverage count. The event
+/// buffer is retained across calls, so a steady-state caller performs
+/// no heap allocation at all.
+///
+/// The caller contract mirrors what [`IntervalSet`] normalisation
+/// guarantees: the spans contributed by any *one* set must be disjoint
+/// (coverage from a single set never exceeds 1 at any point). Spans
+/// from different sets may overlap freely. Under that contract, for `k`
+/// sets the union measure is exactly the length where coverage ≥ 1 and
+/// the intersection measure exactly the length where coverage = `k` —
+/// integer-identical to the merge-based reference.
+#[derive(Debug, Clone, Default)]
+pub struct SweepScratch {
+    /// Edge events packed as `offset << 1 | is_open`: bit 0 set opens a
+    /// span, clear closes one. Packing keeps the sort on plain `u64`
+    /// keys (one comparison, half the bytes) while preserving the exact
+    /// tuple order `(offset, -1) < (offset, +1)` — at equal offsets a
+    /// close still sorts before an open, so coverage counts (and both
+    /// measures) are integer-identical to the tuple form. Offsets are
+    /// window-relative nanoseconds, so the shift cannot overflow.
+    events: Vec<u64>,
+}
+
+impl SweepScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        SweepScratch::default()
+    }
+
+    /// Drops all pushed spans, keeping the event buffer's capacity.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Number of live spans currently pushed.
+    pub fn span_count(&self) -> usize {
+        self.events.len() / 2
+    }
+
+    /// Pushes one span clipped to the window `[0, limit)`. Spans that
+    /// are empty — inverted, zero-length, or entirely past the limit —
+    /// are ignored, exactly like [`IntervalSet::clip`] drops them.
+    pub fn push_span(&mut self, start: u64, end: u64, limit: u64) {
+        let start = start.min(limit);
+        let end = end.min(limit);
+        if end > start {
+            self.events.push(start << 1 | 1);
+            self.events.push(end << 1);
+        }
+    }
+
+    /// Measures the pushed spans against `k` contributing sets,
+    /// returning `(union, intersection)` lengths in nanoseconds: the
+    /// total length covered by at least one span, and the total length
+    /// covered by all `k` sets simultaneously. With `k = 0` both
+    /// measures are 0 (no spans can have been pushed). Sorts the event
+    /// buffer in place; spans survive for repeated measures.
+    pub fn measure(&mut self, k: usize) -> (u64, u64) {
+        self.events.sort_unstable();
+        let mut union = 0u64;
+        let mut intersection = 0u64;
+        let mut cover = 0usize;
+        let mut prev = 0u64;
+        for &event in &self.events {
+            let pos = event >> 1;
+            if pos > prev {
+                if cover > 0 {
+                    union += pos - prev;
+                    if cover == k {
+                        intersection += pos - prev;
+                    }
+                }
+                prev = pos;
+            }
+            if event & 1 == 1 {
+                cover += 1;
+            } else {
+                cover -= 1;
+            }
+        }
+        (union, intersection)
+    }
+}
+
 /// Computes the union of many sets.
 pub fn union_all<'a>(sets: impl IntoIterator<Item = &'a IntervalSet>) -> IntervalSet {
     let mut all = Vec::new();
@@ -284,5 +375,77 @@ mod tests {
     fn from_iterator_collects() {
         let s: IntervalSet = [(0u64, 4u64), (2, 8)].into_iter().collect();
         assert_eq!(s.total_len(), 8);
+    }
+
+    #[test]
+    fn sweep_matches_merge_reference() {
+        let sets = [
+            IntervalSet::from_spans(&[(0, 10)]),
+            IntervalSet::from_spans(&[(5, 15)]),
+            IntervalSet::from_spans(&[(8, 20)]),
+        ];
+        let mut sweep = SweepScratch::new();
+        for set in &sets {
+            for iv in set.intervals() {
+                sweep.push_span(iv.start, iv.end, u64::MAX);
+            }
+        }
+        let (union, intersection) = sweep.measure(sets.len());
+        assert_eq!(union, union_all(&sets).total_len());
+        assert_eq!(
+            intersection,
+            intersect_all(&sets).expect("non-empty").total_len()
+        );
+    }
+
+    #[test]
+    fn sweep_empty_set_kills_intersection() {
+        // Three contributing sets but only two pushed spans: coverage
+        // never reaches k, exactly like intersecting with an empty set.
+        let mut sweep = SweepScratch::new();
+        sweep.push_span(0, 10, 100);
+        sweep.push_span(0, 10, 100);
+        let (union, intersection) = sweep.measure(3);
+        assert_eq!(union, 10);
+        assert_eq!(intersection, 0);
+    }
+
+    #[test]
+    fn sweep_clips_to_limit() {
+        let mut sweep = SweepScratch::new();
+        sweep.push_span(50, 150, 100);
+        sweep.push_span(200, 300, 100); // entirely past the window
+        sweep.push_span(7, 3, 100); // inverted → empty
+        let (union, _) = sweep.measure(1);
+        assert_eq!(union, 50);
+        assert_eq!(sweep.span_count(), 1);
+    }
+
+    #[test]
+    fn sweep_no_spans_measures_zero() {
+        let mut sweep = SweepScratch::new();
+        assert_eq!(sweep.measure(0), (0, 0));
+        assert_eq!(sweep.measure(4), (0, 0));
+    }
+
+    #[test]
+    fn sweep_clear_retains_nothing() {
+        let mut sweep = SweepScratch::new();
+        sweep.push_span(0, 10, 100);
+        let _ = sweep.measure(1);
+        sweep.clear();
+        sweep.push_span(20, 30, 100);
+        assert_eq!(sweep.measure(1), (10, 10));
+    }
+
+    #[test]
+    fn sweep_touching_spans_are_one_union_run() {
+        // [0,10) and [10,20) from different sets: union 20, no overlap.
+        let mut sweep = SweepScratch::new();
+        sweep.push_span(0, 10, 100);
+        sweep.push_span(10, 20, 100);
+        let (union, intersection) = sweep.measure(2);
+        assert_eq!(union, 20);
+        assert_eq!(intersection, 0);
     }
 }

@@ -50,7 +50,7 @@ pub mod state;
 pub mod triggers;
 
 pub use avg::RunningAvg;
-pub use group::{PsiGroup, PsiSnapshot, Resource, TaskObservation};
-pub use intervals::{Interval, IntervalSet};
+pub use group::{PsiGroup, PsiSnapshot, Resource, SpanBatch, TaskObservation};
+pub use intervals::{Interval, IntervalSet, SweepScratch};
 pub use render::render_pressure_file;
 pub use triggers::{Trigger, TriggerKind};

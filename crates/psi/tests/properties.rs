@@ -145,3 +145,101 @@ proptest! {
         );
     }
 }
+
+/// Merge-based reference for [`intervals::SweepScratch`]: per-set
+/// normalised interval sets, clipped, then `union_all` /
+/// `intersect_all` measured via materialised sets.
+fn sweep_reference(task_spans: &[Vec<(u64, u64)>], limit: u64) -> (u64, u64) {
+    let sets: Vec<IntervalSet> = task_spans
+        .iter()
+        .map(|spans| IntervalSet::from_spans(spans).clip(limit))
+        .collect();
+    let union = intervals::union_all(sets.iter()).total_len();
+    let inter = intervals::intersect_all(sets.iter())
+        .map(|s| s.total_len())
+        .unwrap_or(0);
+    (union, inter)
+}
+
+/// Pushes each task's *normalised* spans into a sweep — the scratch's
+/// caller contract is per-set disjointness, which is exactly what
+/// `IntervalSet` normalisation provides.
+fn sweep_of(task_spans: &[Vec<(u64, u64)>], limit: u64) -> intervals::SweepScratch {
+    let mut sweep = intervals::SweepScratch::new();
+    for spans in task_spans {
+        for iv in IntervalSet::from_spans(spans).intervals() {
+            sweep.push_span(iv.start, iv.end, limit);
+        }
+    }
+    sweep
+}
+
+proptest! {
+    #[test]
+    fn sweep_measures_match_sorted_merge_reference(task_spans in arb_task_spans()) {
+        let mut sweep = sweep_of(&task_spans, WINDOW_NS);
+        let measured = sweep.measure(task_spans.len());
+        prop_assert_eq!(measured, sweep_reference(&task_spans, WINDOW_NS));
+    }
+
+    #[test]
+    fn sweep_measure_is_idempotent(task_spans in arb_task_spans()) {
+        // Spans survive a measure (only the event order mutates, via the
+        // in-place sort), so repeated measures — and measures after a
+        // clear + identical re-push — agree exactly.
+        let mut sweep = sweep_of(&task_spans, WINDOW_NS);
+        let first = sweep.measure(task_spans.len());
+        let second = sweep.measure(task_spans.len());
+        prop_assert_eq!(first, second);
+        sweep.clear();
+        prop_assert_eq!(sweep.span_count(), 0);
+        for spans in &task_spans {
+            for iv in IntervalSet::from_spans(spans).intervals() {
+                sweep.push_span(iv.start, iv.end, WINDOW_NS);
+            }
+        }
+        prop_assert_eq!(sweep.measure(task_spans.len()), first);
+    }
+
+    #[test]
+    fn sweep_clamps_spans_to_window_like_clip(
+        spans in arb_spans(),
+        limit in 1u64..WINDOW_NS,
+    ) {
+        // Window clamping: a single set pushed with `limit` measures
+        // exactly like `IntervalSet::clip(limit)` — spans straddling the
+        // boundary are truncated, spans at or past it are dropped.
+        let set = IntervalSet::from_spans(&spans);
+        let mut sweep = intervals::SweepScratch::new();
+        for iv in set.intervals() {
+            sweep.push_span(iv.start, iv.end, limit);
+        }
+        let (union, inter) = sweep.measure(1);
+        let clipped = set.clip(limit).total_len();
+        prop_assert_eq!(union, clipped);
+        // One contributing set: union and intersection coincide.
+        prop_assert_eq!(inter, clipped);
+    }
+
+    #[test]
+    fn sweep_boundary_spans_behave_like_clip(start in 0u64..20, end in 0u64..20, limit in 1u64..16) {
+        // Dense small-coordinate sweep so exact-boundary cases
+        // (start == limit, end == limit, start == end) all occur often.
+        let mut sweep = intervals::SweepScratch::new();
+        sweep.push_span(start, end, limit);
+        let (union, _) = sweep.measure(1);
+        let expected = if start < end {
+            IntervalSet::from_spans(&[(start, end)]).clip(limit).total_len()
+        } else {
+            0 // inverted spans are dropped, not swapped like Interval::new
+        };
+        prop_assert_eq!(union, expected);
+    }
+
+    #[test]
+    fn union_is_idempotent(spans in arb_spans()) {
+        let set = IntervalSet::from_spans(&spans);
+        prop_assert_eq!(set.union(&set), set.clone());
+        prop_assert_eq!(intervals::union_all([&set, &set]), set);
+    }
+}

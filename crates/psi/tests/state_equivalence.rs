@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 use tmo_psi::state::{StateTracker, TaskId};
-use tmo_psi::{IntervalSet, PsiGroup, Resource, TaskObservation};
+use tmo_psi::{IntervalSet, PsiGroup, Resource, SpanBatch, TaskObservation, Trigger, TriggerKind};
 use tmo_sim::{SimDuration, SimTime};
 
 const WINDOW_NS: u64 = 1_000_000_000;
@@ -83,5 +83,171 @@ proptest! {
             full,
             snap.full_total
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched vs scalar equivalence: `observe_batch` over a packed
+// `SpanBatch` must be bit-identical to `observe` over the equivalent
+// `TaskObservation`s — snapshots (including avg10/avg60/avg300 floats),
+// totals, and trigger firing order — across multi-window runs with
+// idle/non-idle mixes on every resource.
+// ---------------------------------------------------------------------
+
+/// One random window: per task, an idle flag and stall spans on each of
+/// the three resources.
+type WindowSchedule = Vec<(bool, [Vec<(u64, u64)>; 3])>;
+
+fn arb_window() -> impl Strategy<Value = WindowSchedule> {
+    prop::collection::vec(
+        (
+            any::<bool>(),
+            (
+                prop::collection::vec((0u64..WINDOW_NS, 0u64..WINDOW_NS), 0..4),
+                prop::collection::vec((0u64..WINDOW_NS, 0u64..WINDOW_NS), 0..4),
+                prop::collection::vec((0u64..WINDOW_NS, 0u64..WINDOW_NS), 0..4),
+            ),
+        )
+            .prop_map(|(idle, (m, i, c))| (idle, [m, i, c])),
+        0..6,
+    )
+}
+
+/// Registers the same trigger spread on both groups: two per resource,
+/// so firing order across resources and registration indices is
+/// exercised.
+fn add_triggers(group: &mut PsiGroup) {
+    for resource in Resource::ALL {
+        group.add_trigger(
+            resource,
+            Trigger::new(
+                TriggerKind::Some,
+                SimDuration::from_millis(100),
+                SimDuration::from_secs(1),
+            ),
+        );
+        group.add_trigger(
+            resource,
+            Trigger::new(
+                TriggerKind::Full,
+                SimDuration::from_millis(20),
+                SimDuration::from_secs(1),
+            ),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn batched_observe_is_bit_identical_to_scalar(
+        windows in prop::collection::vec(arb_window(), 1..5)
+    ) {
+        let window = SimDuration::from_nanos(WINDOW_NS);
+        let mut scalar = PsiGroup::new(4);
+        let mut batched = PsiGroup::new(4);
+        add_triggers(&mut scalar);
+        add_triggers(&mut batched);
+
+        for tasks in &windows {
+            // Scalar form: one TaskObservation per task.
+            let observations: Vec<TaskObservation> = tasks
+                .iter()
+                .map(|(idle, stalls)| {
+                    let mut o = if *idle {
+                        TaskObservation::idle()
+                    } else {
+                        TaskObservation::non_idle()
+                    };
+                    for (r, spans) in Resource::ALL.iter().zip(stalls.iter()) {
+                        o.stall(*r, IntervalSet::from_spans(spans));
+                    }
+                    o
+                })
+                .collect();
+            scalar.observe(window, &observations);
+
+            // Batched form: idle tasks are simply not pushed; each
+            // task's contribution is its normalised (disjoint) interval
+            // set, satisfying the SpanBatch disjointness contract.
+            let mut batch = SpanBatch::new();
+            for obs in &observations {
+                if !obs.is_non_idle() {
+                    continue;
+                }
+                batch.push_non_idle_task();
+                for r in Resource::ALL {
+                    for iv in obs.stalls(r).intervals() {
+                        batch.push_span(r, iv.start, iv.end);
+                    }
+                }
+            }
+            batched.observe_batch(window, &batch);
+
+            prop_assert_eq!(scalar.fired_triggers(), batched.fired_triggers());
+            for r in Resource::ALL {
+                // PartialEq over the f64 fields == bit-identical here
+                // (no NaNs can arise from ratios in [0, 1]).
+                prop_assert_eq!(scalar.snapshot(r), batched.snapshot(r));
+            }
+        }
+    }
+
+    #[test]
+    fn observe_totals_is_bit_identical_to_anchored_intervals(
+        windows in prop::collection::vec(
+            prop::collection::vec(
+                (0u64..2 * WINDOW_NS, 0u64..2 * WINDOW_NS, 0u64..2 * WINDOW_NS)
+                    .prop_map(|(m, i, c)| [m, i, c]),
+                0..5,
+            ),
+            1..4,
+        )
+    ) {
+        // `observe_totals` lays each task's stall total out as a single
+        // window-anchored span; it must match hand-building the same
+        // spans as TaskObservations (the pre-batch formulation).
+        let window = SimDuration::from_nanos(WINDOW_NS);
+        let mut totals_form = PsiGroup::new(4);
+        let mut interval_form = PsiGroup::new(4);
+        add_triggers(&mut totals_form);
+        add_triggers(&mut interval_form);
+
+        for tasks in &windows {
+            let stalls: Vec<[SimDuration; 3]> = tasks
+                .iter()
+                .map(|ns| {
+                    [
+                        SimDuration::from_nanos(ns[0]),
+                        SimDuration::from_nanos(ns[1]),
+                        SimDuration::from_nanos(ns[2]),
+                    ]
+                })
+                .collect();
+            totals_form.observe_totals(window, &stalls);
+
+            let observations: Vec<TaskObservation> = stalls
+                .iter()
+                .map(|per_task| {
+                    let mut o = TaskObservation::non_idle();
+                    for (r, d) in Resource::ALL.iter().zip(per_task.iter()) {
+                        if !d.is_zero() {
+                            o.stall(
+                                *r,
+                                IntervalSet::from_spans(&[(0, d.as_nanos().min(WINDOW_NS))]),
+                            );
+                        }
+                    }
+                    o
+                })
+                .collect();
+            interval_form.observe(window, &observations);
+
+            prop_assert_eq!(totals_form.fired_triggers(), interval_form.fired_triggers());
+            for r in Resource::ALL {
+                prop_assert_eq!(totals_form.snapshot(r), interval_form.snapshot(r));
+            }
+        }
     }
 }

@@ -39,7 +39,7 @@ pub mod units;
 
 pub use clock::Clock;
 pub use rng::{derive_host_seed, DetRng};
-pub use series::{Recorder, Sample, Series};
+pub use series::{Recorder, Sample, Series, SeriesId};
 pub use stats::{P2Quantile, Welford};
 pub use time::{SimDuration, SimTime};
 pub use units::{ByteSize, PageCount};

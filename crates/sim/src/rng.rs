@@ -121,7 +121,27 @@ impl DetRng {
         if n == 0 {
             return 0;
         }
-        let threshold = n.wrapping_neg() % n;
+        self.below_with(n, Self::below_threshold(n))
+    }
+
+    /// The rejection threshold [`DetRng::below`] derives for bound `n`.
+    /// The `%` here is the one hardware divide in a draw; a loop making
+    /// many draws with the same bound should compute it once and call
+    /// [`DetRng::below_with`], which consumes the generator identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `n == 0`.
+    pub fn below_threshold(n: u64) -> u64 {
+        debug_assert!(n > 0, "threshold of empty range");
+        n.wrapping_neg() % n
+    }
+
+    /// [`DetRng::below`] with the rejection threshold precomputed by
+    /// [`DetRng::below_threshold`]: same draws, same rejections, same
+    /// value — bit-identical to the single-call form.
+    pub fn below_with(&mut self, n: u64, threshold: u64) -> u64 {
+        debug_assert_eq!(threshold, Self::below_threshold(n), "stale threshold");
         loop {
             let m = (self.next_u64() as u128) * (n as u128);
             if (m as u64) >= threshold {

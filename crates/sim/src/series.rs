@@ -169,7 +169,20 @@ impl PipeFinite for f64 {
     }
 }
 
+/// Stable handle to one series inside a [`Recorder`].
+///
+/// Hot loops resolve a name to a `SeriesId` once and then append via
+/// [`Recorder::record_id`], skipping the per-sample name lookup and the
+/// `String` allocation `record` pays on every call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
 /// A collection of named series recorded during one simulation run.
+///
+/// Series live in insertion-ordered slots addressed by [`SeriesId`]; a
+/// name index keeps every observable surface (`series`, `iter`,
+/// `names`, `to_csv`) sorted by name exactly as before, so creation
+/// order never leaks into output.
 ///
 /// # Example
 ///
@@ -178,12 +191,14 @@ impl PipeFinite for f64 {
 ///
 /// let mut rec = Recorder::new();
 /// rec.record("psi.some", SimTime::from_secs(6), 0.08);
-/// rec.record("psi.some", SimTime::from_secs(12), 0.10);
+/// let id = rec.series_id("psi.some");
+/// rec.record_id(id, SimTime::from_secs(12), 0.10);
 /// assert_eq!(rec.series("psi.some").expect("recorded").len(), 2);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Recorder {
-    series: BTreeMap<String, Series>,
+    index: BTreeMap<String, usize>,
+    slots: Vec<Series>,
 }
 
 impl Recorder {
@@ -192,39 +207,51 @@ impl Recorder {
         Recorder::default()
     }
 
+    /// Resolves the named series to a stable [`SeriesId`], creating an
+    /// empty series on first use.
+    pub fn series_id(&mut self, name: &str) -> SeriesId {
+        if let Some(&slot) = self.index.get(name) {
+            return SeriesId(slot);
+        }
+        let slot = self.slots.len();
+        self.slots.push(Series::new(name));
+        self.index.insert(name.to_string(), slot);
+        SeriesId(slot)
+    }
+
+    /// Appends a sample to the series behind `id`.
+    pub fn record_id(&mut self, id: SeriesId, time: SimTime, value: f64) {
+        self.slots[id.0].push(time, value);
+    }
+
     /// Appends a sample to the named series, creating it on first use.
     pub fn record(&mut self, name: &str, time: SimTime, value: f64) {
-        self.series
-            .entry(name.to_string())
-            .or_insert_with(|| Series::new(name))
-            .push(time, value);
+        let id = self.series_id(name);
+        self.record_id(id, time, value);
     }
 
     /// Looks up a series by name.
     pub fn series(&self, name: &str) -> Option<&Series> {
-        self.series.get(name)
+        self.index.get(name).map(|&slot| &self.slots[slot])
     }
 
     /// All series, sorted by name.
     pub fn iter(&self) -> impl Iterator<Item = &Series> {
-        self.series.values()
+        self.index.values().map(|&slot| &self.slots[slot])
     }
 
     /// Names of all recorded series, sorted.
     pub fn names(&self) -> Vec<&str> {
-        self.series.keys().map(String::as_str).collect()
+        self.index.keys().map(String::as_str).collect()
     }
 
     /// Merges another recorder's series in, prefixing their names.
     pub fn merge_prefixed(&mut self, prefix: &str, other: &Recorder) {
         for s in other.iter() {
             let name = format!("{prefix}.{}", s.name());
-            let entry = self
-                .series
-                .entry(name.clone())
-                .or_insert_with(|| Series::new(name));
+            let id = self.series_id(&name);
             for sample in s.samples() {
-                entry.samples.push(*sample);
+                self.slots[id.0].samples.push(*sample);
             }
         }
     }
@@ -334,6 +361,22 @@ mod tests {
         assert_eq!(rec.names(), vec!["a", "b"]);
         assert_eq!(rec.series("a").expect("a").len(), 2);
         assert!(rec.series("missing").is_none());
+    }
+
+    #[test]
+    fn recorder_ids_alias_names_and_sort_observably() {
+        let mut rec = Recorder::new();
+        // Create out of name order so slot order != name order.
+        let zb = rec.series_id("z.b");
+        let aa = rec.series_id("a.a");
+        rec.record_id(zb, t(1), 1.0);
+        rec.record_id(aa, t(1), 2.0);
+        rec.record("z.b", t(2), 3.0);
+        assert_eq!(rec.series_id("z.b"), zb);
+        assert_eq!(rec.names(), vec!["a.a", "z.b"]);
+        let ordered: Vec<&str> = rec.iter().map(Series::name).collect();
+        assert_eq!(ordered, vec!["a.a", "z.b"]);
+        assert_eq!(rec.series("z.b").expect("z.b").len(), 2);
     }
 
     #[test]

@@ -145,8 +145,12 @@ impl AccessPlanner {
         }
         out.reserve(count as usize);
         let len = items.len() as u64;
+        // Every draw shares the bound, so the rejection threshold (the
+        // one divide in a draw) hoists out of the loop; `below_with`
+        // consumes the generator exactly like `below`.
+        let threshold = DetRng::below_threshold(len);
         for _ in 0..count {
-            let idx = rng.below(len) as usize;
+            let idx = rng.below_with(len, threshold) as usize;
             out.push(items[idx]);
         }
     }

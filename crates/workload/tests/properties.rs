@@ -88,3 +88,75 @@ proptest! {
         prop_assert_eq!(run(), run());
     }
 }
+
+proptest! {
+    #[test]
+    fn plan_into_matches_scalar_plan(
+        fracs in prop::collection::vec(0.01f64..1.0, 1..6),
+        total in 1u64..100_000,
+        seed in any::<u64>(),
+        dt_ms in 1u64..5_000,
+    ) {
+        // The buffer-reusing batched plan must produce the same counts
+        // AND consume the generator identically to the allocating form,
+        // so a simulation can swap between them without perturbing any
+        // downstream draw.
+        let sum: f64 = fracs.iter().sum();
+        let classes: Vec<TemperatureClass> = fracs
+            .iter()
+            .map(|f| TemperatureClass::new(f / sum, SimDuration::from_secs(10)))
+            .collect();
+        let planner = AccessPlanner::new(classes, total);
+        let dt = SimDuration::from_millis(dt_ms);
+        let mut rng_scalar = DetRng::seed_from_u64(seed);
+        let mut rng_batched = DetRng::seed_from_u64(seed);
+        let scalar = planner.plan(dt, &mut rng_scalar);
+        let mut batched = vec![9999]; // plan_into must clear stale contents
+        planner.plan_into(dt, &mut rng_batched, &mut batched);
+        prop_assert_eq!(&scalar, &batched);
+        prop_assert_eq!(rng_scalar.next_u64(), rng_batched.next_u64());
+    }
+
+    #[test]
+    fn planner_conserves_pages_per_class(
+        fracs in prop::collection::vec(0.01f64..1.0, 1..8),
+        total in 0u64..1_000_000,
+    ) {
+        // Every page lands in exactly one class: per-class counts sum
+        // to the requested total (the remainder rule tops up the last
+        // class), and no class exceeds the total.
+        let sum: f64 = fracs.iter().sum();
+        let classes: Vec<TemperatureClass> = fracs
+            .iter()
+            .map(|f| TemperatureClass::new(f / sum, SimDuration::from_secs(60)))
+            .collect();
+        let planner = AccessPlanner::new(classes, total);
+        let per_class = planner.pages_per_class();
+        prop_assert_eq!(per_class.iter().sum::<u64>(), total);
+        prop_assert_eq!(planner.total_pages(), total);
+        for &pages in per_class {
+            prop_assert!(pages <= total);
+        }
+    }
+
+    #[test]
+    fn sample_batch_draws_like_a_scalar_below_loop(
+        len in 1usize..200,
+        count in 0u64..300,
+        seed in any::<u64>(),
+    ) {
+        // sample_batch_into hoists the rejection threshold but must
+        // keep the draw sequence of one `rng.below` per sample.
+        let items: Vec<u64> = (0..len as u64).collect();
+        let mut rng_batch = DetRng::seed_from_u64(seed);
+        let mut out = Vec::new();
+        AccessPlanner::sample_batch_into(&items, count, &mut rng_batch, &mut out);
+
+        let mut rng_scalar = DetRng::seed_from_u64(seed);
+        let scalar: Vec<u64> = (0..count)
+            .map(|_| items[rng_scalar.below(items.len() as u64) as usize])
+            .collect();
+        prop_assert_eq!(&out, &scalar);
+        prop_assert_eq!(rng_batch.next_u64(), rng_scalar.next_u64());
+    }
+}
