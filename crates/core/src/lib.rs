@@ -60,6 +60,7 @@ pub use machine::{Machine, MachineConfig, MachineScratch, SwapKind, WorkingsetPr
 pub use modulate::{NullModulator, WorkloadModulator};
 pub use runner::{FleetError, FleetRunner, FleetStats, HostCtx, HostOutcome, ShardArena};
 pub use runtime::{ControllerKind, TmoRuntime};
+pub use tmo_mm::ProvenanceCharge;
 
 /// Convenient glob-import surface for examples and experiments.
 pub mod prelude {
@@ -71,7 +72,7 @@ pub mod prelude {
     pub use tmo_backends::{SsdModel, ZswapAllocator};
     pub use tmo_faults::FaultConfig;
     pub use tmo_gswap::GswapConfig;
-    pub use tmo_mm::{ReclaimPolicy, ReclaimPriority};
+    pub use tmo_mm::{CgroupId, ProvenanceCharge, ReclaimPolicy, ReclaimPriority};
     pub use tmo_psi::Resource;
     pub use tmo_senpai::{OomdConfig, PolicyMap, SenpaiConfig};
     pub use tmo_sim::{ByteSize, SimDuration, SimTime};

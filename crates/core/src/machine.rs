@@ -345,6 +345,28 @@ impl Machine {
         self.modulator.take()
     }
 
+    /// Turns on causal reclaim-pressure tracking (idempotent): the mm
+    /// layer records, per eviction, which container's demand triggered
+    /// it, and charges each later fault-back stall to that trigger. The
+    /// tick loop names the acting container around every allocation and
+    /// access batch, and [`Machine::reclaim`] names its target, so
+    /// proactive (Senpai) evictions self-attribute while direct-reclaim
+    /// evictions are charged to the allocator that forced them.
+    /// Tracking draws no RNG and emits nothing: enabled or not, all
+    /// simulation output stays byte-identical.
+    pub fn enable_causal_tracking(&mut self) {
+        self.mm.enable_provenance();
+    }
+
+    /// Drains the accumulated `(victim, offender)` stall charges into
+    /// `out` (cleared first; empty unless
+    /// [`Machine::enable_causal_tracking`] was called). Charges are in
+    /// cgroup terms; map them to containers via
+    /// [`Container::cgroup`](crate::container::Container::cgroup).
+    pub fn drain_causal_charges(&mut self, out: &mut Vec<tmo_mm::ProvenanceCharge>) {
+        self.mm.drain_provenance_charges(out);
+    }
+
     /// Retires the machine, releasing its scratch buffers (scrubbed:
     /// capacity only, no values) for the next host to adopt via
     /// [`Machine::with_scratch`].
@@ -668,6 +690,10 @@ impl Machine {
     ) -> TickStats {
         let mut stats = TickStats::default();
         let cg = self.containers[ci].cg;
+        // Everything below acts on this container's behalf: its
+        // allocations and accesses are the demand that triggers any
+        // reclaim they cause (no-op unless causal tracking is on).
+        self.mm.set_reclaim_trigger(Some(cg));
 
         // 1. Lazy anonymous growth.
         if self.containers[ci].growth_remaining_pages > 0 {
@@ -851,6 +877,7 @@ impl Machine {
             web.observe(mean_stall, headroom);
         }
 
+        self.mm.set_reclaim_trigger(None);
         stats
     }
 
@@ -1142,7 +1169,13 @@ impl Machine {
     pub fn reclaim(&mut self, id: ContainerId, bytes: ByteSize) -> ReclaimOutcome {
         let c = &self.containers[id.0];
         let name = c.name.clone();
-        let outcome = self.mm.reclaim(c.cg, bytes);
+        let cg = c.cg;
+        // Proactive reclaim is pressure the target applies to itself
+        // (the controller probes *its* cold memory), so evictions here
+        // self-attribute rather than blaming a neighbour.
+        self.mm.set_reclaim_trigger(Some(cg));
+        let outcome = self.mm.reclaim(cg, bytes);
+        self.mm.set_reclaim_trigger(None);
         self.containers[id.0].swap_full_seen = outcome.swap_full;
         let now = self.clock.now();
         self.recorder
@@ -1230,6 +1263,9 @@ impl Machine {
         let anon_fraction = self.containers[id.0].profile.anon_fraction;
         let per_class: Vec<u64> = self.containers[id.0].planner.pages_per_class().to_vec();
         let now = self.clock.now();
+        // The restart's footprint re-allocation is this container's
+        // demand; any reclaim it forces is attributed to it.
+        self.mm.set_reclaim_trigger(Some(cg));
         let mut class_pages: Vec<Vec<tmo_mm::PageId>> = Vec::new();
         for &n in &per_class {
             let want_anon = (n as f64 * anon_fraction).round() as u64;
@@ -1253,10 +1289,12 @@ impl Machine {
                     class_pages.iter().flatten().copied().collect();
                 allocated.extend(pages);
                 self.mm.free_pages_of(&allocated);
+                self.mm.set_reclaim_trigger(None);
                 return false;
             }
             class_pages.push(pages);
         }
+        self.mm.set_reclaim_trigger(None);
         let c = &mut self.containers[id.0];
         c.class_pages = class_pages;
         c.alive = true;

@@ -33,11 +33,13 @@
 //! | [`ext_sweep`] | §4.4 | Senpai tuning sweep (savings/RPS frontier) |
 //! | [`ext_chaos`] | §4.5/§5.2 | fault-injection degradation curves |
 //! | [`ext_adversarial`] | §2.2/§4.4 | adversarial scenario replay, SLO scoring, blame |
+//! | [`ext_blame_validation`] | §6 | blame ground truth: causal vs pro-rata attribution |
 //! | [`ext_paper_scale`] | §4 (fleet scale) | shard-chunked harness scaling laws |
 //! | [`headline`] | abstract | fleet-wide 20-32% savings rollup |
 
 pub mod ablate;
 pub mod ext_adversarial;
+pub mod ext_blame_validation;
 pub mod ext_chaos;
 pub mod ext_paper_scale;
 pub mod ext_sweep;
@@ -104,12 +106,13 @@ pub const ALL_FIGURES: [u32; 14] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 1
 /// wall-clock-bound (it measures the harness itself, sweeping its own
 /// worker counts) and runs only when named explicitly with
 /// `--experiment ext_paper_scale`.
-pub const NAMED_EXPERIMENTS: [&str; 7] = [
+pub const NAMED_EXPERIMENTS: [&str; 8] = [
     "ablate",
     "ext_tiered",
     "ext_sweep",
     "ext_chaos",
     "ext_adversarial",
+    "ext_blame_validation",
     "headline",
     "ext_paper_scale",
 ];
@@ -123,6 +126,7 @@ pub fn run_named_with(runner: &FleetRunner, name: &str, scale: Scale) -> Option<
         "ext_sweep" => ext_sweep::run_with(runner, scale),
         "ext_chaos" => ext_chaos::run_with(runner, scale),
         "ext_adversarial" => ext_adversarial::run_with(runner, scale),
+        "ext_blame_validation" => ext_blame_validation::run_with(runner, scale),
         "headline" => headline::run_with(runner, scale),
         // Sweeps its own worker counts; the CLI runner is unused.
         "ext_paper_scale" => ext_paper_scale::run(scale),
@@ -159,6 +163,7 @@ pub fn experiment_description(name: &str) -> Option<&'static str> {
         "ext_sweep" => "Senpai tuning sweep: savings vs RPS frontier",
         "ext_chaos" => "fault-injection degradation curves over chaos intensity",
         "ext_adversarial" => "adversarial scenario replay: SLO scores, blame, A/B harness",
+        "ext_blame_validation" => "blame ground truth: causal vs pro-rata attribution precision",
         "headline" => "fleet-wide 20-32% savings headline rollup",
         "ext_paper_scale" => "shard-chunked fleet-runner scaling laws (wall-clock bound)",
         _ => return None,

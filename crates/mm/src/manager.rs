@@ -6,6 +6,8 @@
 //! and controllers drive proactive reclaim through the stateless
 //! `memory.reclaim`-equivalent [`MemoryManager::reclaim`].
 
+use std::collections::BTreeMap;
+
 use tmo_backends::{BackendKind, BackendStats, DeviceFault, IoKind, OffloadBackend, SsdDevice};
 use tmo_sim::{ByteSize, DetRng, PageCount, SimDuration, SimTime};
 
@@ -92,6 +94,41 @@ pub struct AllocOutcome {
     pub reclaim_stall: SimDuration,
 }
 
+/// One accumulated reclaim-provenance charge: `victim` paid `stall`
+/// of fault latency because memory pressure attributed to `offender`
+/// pushed its pages out (see [`MemoryManager::enable_provenance`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProvenanceCharge {
+    /// The cgroup that paid the stall.
+    pub victim: CgroupId,
+    /// The cgroup whose demand triggered the eviction being paid for.
+    pub offender: CgroupId,
+    /// The stall charged since the last drain.
+    pub stall: SimDuration,
+}
+
+/// Reclaim-pressure provenance bookkeeping, present only when a caller
+/// opted in via [`MemoryManager::enable_provenance`].
+///
+/// The tracker answers "whose demand evicted this page?" at the moment
+/// the cost of that eviction is actually paid. The host sets `trigger`
+/// to the cgroup driving the current mm entry point (the allocator on
+/// an allocation, the accessor on a fault, the reclaim target on a
+/// proactive `memory.reclaim`); every eviction records the trigger
+/// against the page slot; every fault-back charges its stall to the
+/// recorded evictor. Pure bookkeeping — no RNG draws, no output — so an
+/// enabled tracker leaves simulation results byte-identical.
+#[derive(Debug, Default)]
+struct ProvenanceTracker {
+    /// The cgroup whose demand is driving the current mm entry point.
+    trigger: Option<CgroupId>,
+    /// Per page-slot eviction trigger, parallel to `pages`. Entries are
+    /// consumed at fault-back and cleared on slot reuse.
+    evicted_by: Vec<Option<CgroupId>>,
+    /// `(victim, offender)` → accumulated stall nanos since last drain.
+    charges: BTreeMap<(CgroupId, CgroupId), u64>,
+}
+
 /// The simulated kernel memory-management subsystem of one machine.
 ///
 /// See the [crate docs](crate) for an overview and example.
@@ -118,6 +155,9 @@ pub struct MemoryManager {
     direct_reclaims: u64,
     alloc_failures: u64,
     lost_loads: u64,
+    /// Reclaim-pressure provenance; `None` (the default) keeps every
+    /// hook on the alloc/fault/reclaim paths a single branch.
+    provenance: Option<ProvenanceTracker>,
 }
 
 impl MemoryManager {
@@ -149,6 +189,7 @@ impl MemoryManager {
             direct_reclaims: 0,
             alloc_failures: 0,
             lost_loads: 0,
+            provenance: None,
         }
     }
 
@@ -165,6 +206,102 @@ impl MemoryManager {
     /// Switches the reclaim policy (used by ablation experiments).
     pub fn set_policy(&mut self, policy: ReclaimPolicy) {
         self.policy = policy;
+    }
+
+    // ------------------------------------------------------------------
+    // Reclaim-pressure provenance
+    // ------------------------------------------------------------------
+
+    /// Turns on reclaim-pressure provenance tracking (idempotent).
+    ///
+    /// While enabled, every eviction records which cgroup's demand
+    /// triggered it (the current [`MemoryManager::set_reclaim_trigger`]
+    /// value) against the evicted page's slot, and every later
+    /// fault-back of that page charges its full stall — device latency
+    /// plus any nested direct-reclaim scan time — to the recorded
+    /// trigger. Direct-reclaim stall paid inside an allocation is
+    /// charged to the allocator itself. Accumulated charges are read
+    /// with [`MemoryManager::drain_provenance_charges`].
+    ///
+    /// Tracking draws no RNG and emits nothing, so enabling it leaves
+    /// all simulation output byte-identical.
+    pub fn enable_provenance(&mut self) {
+        if self.provenance.is_none() {
+            self.provenance = Some(ProvenanceTracker::default());
+        }
+    }
+
+    /// Whether provenance tracking is on.
+    pub fn provenance_enabled(&self) -> bool {
+        self.provenance.is_some()
+    }
+
+    /// Names the cgroup whose demand is driving the mm entry points
+    /// that follow (the allocating container, the faulting accessor, or
+    /// the target of a proactive `memory.reclaim`). `None` detaches the
+    /// trigger; evictions recorded without one fall back to blaming the
+    /// page's own cgroup. No-op unless provenance is enabled.
+    pub fn set_reclaim_trigger(&mut self, cg: Option<CgroupId>) {
+        if let Some(p) = &mut self.provenance {
+            p.trigger = cg;
+        }
+    }
+
+    /// Moves every accumulated `(victim, offender)` charge into `out`
+    /// (cleared first), ordered by `(victim, offender)` id, and resets
+    /// the accumulator. Empty when provenance is disabled.
+    pub fn drain_provenance_charges(&mut self, out: &mut Vec<ProvenanceCharge>) {
+        out.clear();
+        if let Some(p) = &mut self.provenance {
+            for (&(victim, offender), &nanos) in p.charges.iter() {
+                out.push(ProvenanceCharge {
+                    victim,
+                    offender,
+                    stall: SimDuration::from_nanos(nanos),
+                });
+            }
+            p.charges.clear();
+        }
+    }
+
+    /// Records the current trigger as the evictor of `id` (owner `cg`
+    /// blames itself when no trigger is attached).
+    fn note_eviction_provenance(&mut self, id: PageId, owner: CgroupId) {
+        if let Some(p) = &mut self.provenance {
+            let slot = id.0 as usize;
+            if p.evicted_by.len() <= slot {
+                p.evicted_by.resize(slot + 1, None);
+            }
+            p.evicted_by[slot] = Some(p.trigger.unwrap_or(owner));
+        }
+    }
+
+    /// Charges `stall` paid by `victim` faulting `id` back in to the
+    /// eviction trigger recorded for the slot, consuming the record.
+    fn charge_fault_provenance(&mut self, id: PageId, victim: CgroupId, stall: SimDuration) {
+        if let Some(p) = &mut self.provenance {
+            let offender = p
+                .evicted_by
+                .get_mut(id.0 as usize)
+                .and_then(Option::take)
+                .unwrap_or(victim);
+            let nanos = stall.as_nanos();
+            if nanos > 0 {
+                *p.charges.entry((victim, offender)).or_insert(0) += nanos;
+            }
+        }
+    }
+
+    /// Charges direct-reclaim stall paid inside `cg`'s own allocation:
+    /// self-inflicted pressure, billed to the trigger (the allocator).
+    fn charge_alloc_provenance(&mut self, cg: CgroupId, stall: SimDuration) {
+        if let Some(p) = &mut self.provenance {
+            let offender = p.trigger.unwrap_or(cg);
+            let nanos = stall.as_nanos();
+            if nanos > 0 {
+                *p.charges.entry((cg, offender)).or_insert(0) += nanos;
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -374,6 +511,7 @@ impl MemoryManager {
                 .push(id, gen);
             pages.push(id);
         }
+        self.charge_alloc_provenance(cg, stall);
         Ok(AllocOutcome {
             pages,
             reclaim_stall: stall,
@@ -383,6 +521,13 @@ impl MemoryManager {
     fn insert_page(&mut self, kind: PageKind, owner: CgroupId, now: SimTime) -> PageId {
         match self.free_slots.pop() {
             Some(slot) => {
+                // A recycled slot must not inherit the previous
+                // tenant's eviction provenance.
+                if let Some(p) = &mut self.provenance {
+                    if let Some(e) = p.evicted_by.get_mut(slot as usize) {
+                        *e = None;
+                    }
+                }
                 // Preserve the slot's generation across reuse: the free
                 // already bumped it past every stale LRU entry of the
                 // previous tenant, so none can validate against the new
@@ -707,6 +852,7 @@ impl MemoryManager {
             .list_mut(PageKind::Anon, LruTier::Inactive)
             .push(id, gen);
         self.cgroups[owner.0].swapin_rate.add(1);
+        self.charge_fault_provenance(id, owner, latency + reclaim_stall);
         AccessOutcome::Fault {
             kind: FaultKind::SwapIn,
             latency,
@@ -743,6 +889,7 @@ impl MemoryManager {
             .lrus
             .list_mut(PageKind::File, tier)
             .push(id, gen);
+        self.charge_fault_provenance(id, owner, latency + reclaim_stall);
         if is_refault {
             self.cgroups[owner.0].refault_rate.add(1);
             AccessOutcome::Fault {
@@ -907,6 +1054,7 @@ impl MemoryManager {
                 PageKind::File => {
                     let shadow = self.cgroups[cg.0].evictions.record_eviction();
                     self.pages[id.0 as usize].set_evicted(shadow);
+                    self.note_eviction_provenance(id, cg);
                     self.cgroups[cg.0].file_evicted += PageCount::new(1);
                     self.note_unresident(cg, PageKind::File, 1);
                     outcome.reclaimed_file += PageCount::new(1);
@@ -920,6 +1068,7 @@ impl MemoryManager {
                     match stored {
                         Some(out) => {
                             self.pages[id.0 as usize].set_offloaded(out.token);
+                            self.note_eviction_provenance(id, cg);
                             self.cgroups[cg.0].anon_offloaded += PageCount::new(1);
                             self.cgroups[cg.0].swapout_rate.add(1);
                             self.note_unresident(cg, PageKind::Anon, 1);
@@ -1482,5 +1631,153 @@ mod tests {
             mm.tick(SimDuration::from_secs(1));
         }
         assert!(mm.cgroup_stat(cg).swapout_rate < rate * 0.01);
+    }
+
+    /// Fills DRAM with `victim`'s file pages, then allocates for
+    /// `offender` under the given trigger so direct reclaim evicts the
+    /// victim. Returns the victim's evicted pages.
+    fn evict_victim_via(
+        mm: &mut MemoryManager,
+        victim: CgroupId,
+        offender: CgroupId,
+        trigger: Option<CgroupId>,
+    ) -> Vec<PageId> {
+        let out = mm
+            .alloc_pages(victim, PageKind::File, 120, SimTime::ZERO)
+            .expect("fits");
+        mm.set_reclaim_trigger(trigger);
+        mm.alloc_pages(offender, PageKind::File, 40, SimTime::ZERO)
+            .expect("reclaims to fit");
+        mm.set_reclaim_trigger(None);
+        out.pages
+            .iter()
+            .copied()
+            .filter(|&p| !mm.page(p).is_resident())
+            .collect()
+    }
+
+    #[test]
+    fn provenance_charges_fault_stall_to_the_triggering_cgroup() {
+        let mut mm = MemoryManager::new(small_config(None));
+        let victim = mm.create_cgroup("victim", None);
+        let offender = mm.create_cgroup("offender", None);
+        mm.enable_provenance();
+        let evicted = evict_victim_via(&mut mm, victim, offender, Some(offender));
+        assert!(!evicted.is_empty(), "direct reclaim must evict the victim");
+        // The victim pays the refault; the bill lands on the offender.
+        mm.set_reclaim_trigger(Some(victim));
+        let outcome = mm.access(evicted[0], SimTime::from_secs(1));
+        assert!(matches!(outcome, AccessOutcome::Fault { .. }));
+        mm.set_reclaim_trigger(None);
+        let mut charges = Vec::new();
+        mm.drain_provenance_charges(&mut charges);
+        let cross = charges
+            .iter()
+            .find(|c| c.victim == victim && c.offender == offender)
+            .expect("cross-cgroup charge recorded");
+        assert!(cross.stall > SimDuration::ZERO);
+        // Draining resets the accumulator.
+        mm.drain_provenance_charges(&mut charges);
+        assert!(charges.is_empty());
+    }
+
+    #[test]
+    fn provenance_without_trigger_blames_the_page_owner() {
+        let mut mm = MemoryManager::new(small_config(None));
+        let victim = mm.create_cgroup("victim", None);
+        let offender = mm.create_cgroup("offender", None);
+        mm.enable_provenance();
+        let evicted = evict_victim_via(&mut mm, victim, offender, None);
+        mm.access(evicted[0], SimTime::from_secs(1));
+        let mut charges = Vec::new();
+        mm.drain_provenance_charges(&mut charges);
+        assert!(
+            charges
+                .iter()
+                .any(|c| c.victim == victim && c.offender == victim),
+            "untriggered evictions self-attribute: {charges:?}"
+        );
+        assert!(
+            !charges
+                .iter()
+                .any(|c| c.victim == victim && c.offender == offender),
+            "the victim may not blame the offender without a trigger: {charges:?}"
+        );
+    }
+
+    #[test]
+    fn provenance_disabled_records_nothing() {
+        let mut mm = MemoryManager::new(small_config(None));
+        let victim = mm.create_cgroup("victim", None);
+        let offender = mm.create_cgroup("offender", None);
+        let evicted = evict_victim_via(&mut mm, victim, offender, Some(offender));
+        mm.access(evicted[0], SimTime::from_secs(1));
+        let mut charges = vec![ProvenanceCharge {
+            victim,
+            offender,
+            stall: SimDuration::ZERO,
+        }];
+        mm.drain_provenance_charges(&mut charges);
+        assert!(charges.is_empty(), "drain clears even when disabled");
+    }
+
+    #[test]
+    fn provenance_does_not_survive_slot_reuse() {
+        let mut mm = MemoryManager::new(small_config(None));
+        let victim = mm.create_cgroup("victim", None);
+        let offender = mm.create_cgroup("offender", None);
+        mm.enable_provenance();
+        let evicted = evict_victim_via(&mut mm, victim, offender, Some(offender));
+        // Free the evicted pages without faulting them back: their
+        // slots still carry offender provenance internally.
+        mm.free_pages_of(&evicted);
+        let mut charges = Vec::new();
+        mm.drain_provenance_charges(&mut charges);
+        charges.retain(|c| c.victim == victim && c.offender == offender);
+        assert!(charges.is_empty(), "no fault, no charge: {charges:?}");
+        // Reuse the slots for fresh offender pages, evict and refault
+        // them with no trigger: the stale record must not resurface.
+        let out = mm
+            .alloc_pages(
+                offender,
+                PageKind::File,
+                evicted.len() as u64,
+                SimTime::ZERO,
+            )
+            .expect("fits");
+        // Evict the offender's whole footprint (LRU order would
+        // otherwise pick its older pages before the recycled slots).
+        mm.reclaim(offender, ByteSize::from_kib(4 * 200));
+        let gone: Vec<PageId> = out
+            .pages
+            .iter()
+            .copied()
+            .filter(|&p| !mm.page(p).is_resident())
+            .collect();
+        assert!(!gone.is_empty());
+        mm.access(gone[0], SimTime::from_secs(2));
+        mm.drain_provenance_charges(&mut charges);
+        for c in &charges {
+            assert_eq!(
+                c.offender, offender,
+                "recycled slot leaked stale provenance: {charges:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn provenance_self_charges_direct_reclaim_alloc_stall() {
+        let mut mm = MemoryManager::new(small_config(None));
+        let victim = mm.create_cgroup("victim", None);
+        let offender = mm.create_cgroup("offender", None);
+        mm.enable_provenance();
+        evict_victim_via(&mut mm, victim, offender, Some(offender));
+        let mut charges = Vec::new();
+        mm.drain_provenance_charges(&mut charges);
+        let own = charges
+            .iter()
+            .find(|c| c.victim == offender && c.offender == offender)
+            .expect("allocator self-charges its direct-reclaim scan time");
+        assert!(own.stall > SimDuration::ZERO);
     }
 }

@@ -40,10 +40,14 @@ impl Significance {
         if self.n == 0 {
             return "no pairs".to_string();
         }
-        let (winner, direction) = if self.mean_diff < 0.0 {
-            (a_name, "lower")
+        // The winner is decided by the mean difference; its pair count
+        // must be the *winner's* count, even when the mean-diff winner
+        // won fewer individual pairs (a few large wins can outweigh
+        // many small losses).
+        let (winner, won_pairs, direction) = if self.mean_diff < 0.0 {
+            (a_name, self.a_better, "lower")
         } else if self.mean_diff > 0.0 {
-            (b_name, "lower")
+            (b_name, self.b_better, "lower")
         } else {
             return format!("tie across {} pairs", self.n);
         };
@@ -55,7 +59,7 @@ impl Significance {
         format!(
             "{winner} {direction} by {:.2} mean ({} of {} pairs, t={:.2}, {strength})",
             self.mean_diff.abs(),
-            self.a_better.max(self.b_better),
+            won_pairs,
             self.n,
             if self.t_stat.is_finite() {
                 self.t_stat
@@ -156,6 +160,24 @@ mod tests {
     fn too_few_pairs_never_clear_the_bar() {
         let s = paired_significance(&[1.0, 1.0], &[9.0, 9.0]);
         assert!(!s.significant(), "2 pairs is anecdote, not evidence");
+    }
+
+    #[test]
+    fn verdict_reports_the_winners_own_pair_count() {
+        // B wins the mean (one huge win) while A wins more individual
+        // pairs: the verdict must print B's count (1), not
+        // `a_better.max(b_better)` (3).
+        let a = [0.9, 0.9, 0.9, 10.0];
+        let b = [1.0, 1.0, 1.0, 1.0];
+        let s = paired_significance(&a, &b);
+        assert!(s.mean_diff > 0.0, "B wins the mean: {s:?}");
+        assert_eq!(s.b_better, 1);
+        assert_eq!(s.a_better, 3, "A wins more pairs: {s:?}");
+        let v = s.verdict("A", "B");
+        assert!(
+            v.contains("(1 of 4 pairs") && v.starts_with('B'),
+            "verdict must carry the winner's count: {v}"
+        );
     }
 
     #[test]

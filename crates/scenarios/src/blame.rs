@@ -104,6 +104,15 @@ impl BlameLedger {
         best
     }
 
+    /// The offender with the largest *cross-container* charge summed
+    /// over every victim but itself — the host-level "who is the
+    /// antagonist" answer, comparable with
+    /// [`CausalLedger::top_cross_offender`](crate::provenance::CausalLedger::top_cross_offender).
+    /// Self-charges are excluded; ties go to the smallest index.
+    pub fn top_cross_offender(&self) -> Option<(usize, f64)> {
+        crate::provenance::top_cross_offender_of(self.n, |v, o| self.charged(v, o))
+    }
+
     /// The single largest *cross-container* charge in the ledger — the
     /// headline "X's growth cost Y `n` seconds" edge. `None` when every
     /// charge is self-inflicted (or zero).

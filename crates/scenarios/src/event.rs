@@ -119,6 +119,32 @@ pub enum EventKind {
         /// Expected crashes per minute while the window is open.
         crashes_per_min: f64,
     },
+    /// A square-wave demand burst that is *correlated across hosts*: the
+    /// window is cut into `bursts` equal slices and demand is multiplied
+    /// by `magnitude` during the first half of every slice. Unlike
+    /// [`EventKind::ChurnStorm`], nothing here consults the host seed —
+    /// the wave is a pure function of absolute simulated time, so every
+    /// host in a fleet surges and relaxes in lockstep (the "everyone
+    /// retries at once" shape real incidents produce). `bursts == 0` is
+    /// inert.
+    CorrelatedBurst {
+        /// Demand multiplier during the on-phase of each burst.
+        magnitude: f64,
+        /// Number of on/off cycles the window is divided into.
+        bursts: u32,
+    },
+    /// A cascading failure: one container is killed at the window
+    /// start, the next `stagger` later, and so on while the window is
+    /// open — the k-th kill lands at `start + k * stagger`. Victim
+    /// selection is round-robin from the target (no hash draws), so the
+    /// cascade is identical on every host: the correlated-outage
+    /// counterpart to the seed-diverse [`EventKind::ChurnStorm`]. A
+    /// zero `stagger` collapses the cascade to a single kill at the
+    /// window start.
+    CascadeKill {
+        /// Delay between consecutive kills in the cascade.
+        stagger: SimDuration,
+    },
 }
 
 /// One scripted behaviour: kind + target + active window.

@@ -25,6 +25,13 @@
 //! * [`blame`] — [`BlameLedger`] charges every stalled second to the
 //!   containers whose footprint grew that tick: the "whose growth
 //!   caused whose pressure" attribution.
+//! * [`provenance`] — [`CausalLedger`], the same attribution filled
+//!   from reclaim-pressure provenance threaded through the core
+//!   [`tmo::Machine`], plus the planted-offender ground-truth harness
+//!   that validates both ledgers.
+//! * [`trace`] — [`RecordedTrace`], a versioned byte format for
+//!   recorded per-container demand/leak/churn series, compiled into
+//!   scenario event lists.
 //! * [`run`] — [`run_scenario`] wires all of the above around a
 //!   [`tmo::TmoRuntime`] tick loop.
 //! * [`ab`] — [`paired_significance`] compares two controller configs
@@ -66,17 +73,21 @@ pub mod ab;
 pub mod blame;
 pub mod engine;
 pub mod event;
+pub mod provenance;
 pub mod run;
 pub mod scenario;
 pub mod slo;
+pub mod trace;
 
 pub use ab::{paired_significance, Significance};
 pub use blame::{BlameAttribution, BlameLedger};
 pub use engine::ScenarioEngine;
 pub use event::{EventKind, ScenarioEvent, Target, Window};
+pub use provenance::{evaluate_planted, CausalLedger, GroundTruthRow, PlantedScenario};
 pub use run::{run_scenario, ScenarioOutcome, ScenarioRunConfig};
 pub use scenario::Scenario;
 pub use slo::{SloConfig, SloReport, SloTracker};
+pub use trace::{ContainerTrace, RecordedTrace, TraceError, TraceSample};
 
 /// Glob-import surface for experiments and tests.
 pub mod prelude {
@@ -84,7 +95,11 @@ pub mod prelude {
     pub use crate::blame::{BlameAttribution, BlameLedger};
     pub use crate::engine::ScenarioEngine;
     pub use crate::event::{EventKind, ScenarioEvent, Target, Window};
+    pub use crate::provenance::{
+        evaluate_planted, planted, CausalLedger, GroundTruthRow, PlantedScenario,
+    };
     pub use crate::run::{run_scenario, ScenarioOutcome, ScenarioRunConfig};
     pub use crate::scenario::{catalog, Scenario};
     pub use crate::slo::{SloConfig, SloReport, SloTracker};
+    pub use crate::trace::{ContainerTrace, RecordedTrace, TraceError, TraceSample};
 }

@@ -5,6 +5,7 @@ use tmo_sim::Recorder;
 
 use crate::blame::{BlameAttribution, BlameLedger};
 use crate::engine::ScenarioEngine;
+use crate::provenance::CausalLedger;
 use crate::scenario::Scenario;
 use crate::slo::{SloConfig, SloReport, SloTracker};
 
@@ -28,8 +29,11 @@ pub struct ScenarioOutcome {
     pub scenario: String,
     /// Per-container SLO verdicts, in container order.
     pub reports: Vec<SloReport>,
-    /// The full blame ledger.
+    /// The full growth-pro-rata blame ledger.
     pub blame: BlameLedger,
+    /// The causal ledger: the same stall mass attributed from
+    /// reclaim-pressure provenance instead of growth coincidence.
+    pub causal: CausalLedger,
     /// Sum of per-container degradation scores.
     pub total_degradation: f64,
     /// Total kills across containers.
@@ -46,6 +50,11 @@ impl ScenarioOutcome {
     /// charged across a container boundary.
     pub fn top_blame(&self) -> Option<BlameAttribution> {
         self.blame.top_edge()
+    }
+
+    /// The headline cross-container edge of the *causal* ledger.
+    pub fn top_causal_blame(&self) -> Option<BlameAttribution> {
+        self.causal.top_edge()
     }
 
     /// Whether any container violated its SLO.
@@ -90,6 +99,15 @@ pub fn run_scenario(
         .collect();
     let host_seed = machine.config().seed;
     machine.set_modulator(Box::new(ScenarioEngine::new(scenario.clone(), host_seed)));
+    // Provenance is draw-free and output-free: enabling it cannot
+    // perturb the simulation, so every pre-existing golden stays
+    // byte-identical.
+    machine.enable_causal_tracking();
+    // Restarts reuse a container's cgroup, so this map is stable for
+    // the whole run.
+    let cgs: Vec<CgroupId> = (0..n)
+        .map(|ci| machine.container(ContainerId(ci)).cgroup())
+        .collect();
 
     let mut rt = TmoRuntime::with_senpai(machine, cfg.senpai.clone());
     if let Some(oomd) = cfg.oomd.clone() {
@@ -105,6 +123,8 @@ pub fn run_scenario(
             m.mm().cgroup_stat(cg).resident().as_u64() as f64
         })
         .collect();
+    let mut causal = CausalLedger::new(n);
+    let mut charges: Vec<ProvenanceCharge> = Vec::new();
     let mut stalls = vec![SimDuration::ZERO; n];
     let mut psis = vec![0.0f64; n];
     let mut growth = vec![0.0f64; n];
@@ -112,6 +132,16 @@ pub fn run_scenario(
     let deadline = rt.machine().now() + cfg.duration;
     while rt.machine().now() < deadline {
         rt.tick();
+        rt.machine_mut().drain_causal_charges(&mut charges);
+        for ch in &charges {
+            // Linear scans: hosts have a handful of containers, and the
+            // map is in insertion order so attribution stays ordered.
+            let victim = cgs.iter().position(|&cg| cg == ch.victim);
+            let offender = cgs.iter().position(|&cg| cg == ch.offender);
+            if let (Some(victim), Some(offender)) = (victim, offender) {
+                causal.charge(victim, offender, ch.stall);
+            }
+        }
         let m = rt.machine();
         let dt = m.config().tick;
         let now = m.now();
@@ -149,6 +179,7 @@ pub fn run_scenario(
             .fold(0.0, f64::max),
         reports,
         blame,
+        causal,
     };
     (outcome, machine)
 }

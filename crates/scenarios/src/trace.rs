@@ -1,0 +1,423 @@
+//! Recorded-trace ingestion: a compact, versioned byte format for
+//! per-container demand/leak/churn series, compiled into [`Scenario`]
+//! event lists so real traffic shapes replay through the existing
+//! [`tmo::WorkloadModulator`] hook.
+//!
+//! # Byte layout (version 1, all integers little-endian)
+//!
+//! ```text
+//! magic      8 B   b"TMOTRACE"
+//! version    u16   1
+//! containers u16   number of container records that follow
+//! period     u64   nanoseconds per sample
+//! per container:
+//!   name_len u16   UTF-8 byte length of the name
+//!   name     ..    UTF-8 bytes
+//!   samples  u32   number of samples for this container
+//!   per sample (20 B):
+//!     demand u32   demand multiplier in milli-units (1000 = 1.0x)
+//!     leak   u64   anon leak rate, bytes per second
+//!     churn  u64   file-cache churn rate, bytes per second
+//! ```
+//!
+//! The format is deliberately dumb: fixed-width integers, no
+//! compression, no padding, so `encode` → `decode` is an exact identity
+//! and two byte-equal traces always compile to the same event list
+//! (pinned by this crate's property tests). Decoding rejects anything
+//! it does not fully understand — wrong magic, newer version, short
+//! reads, invalid UTF-8, or trailing garbage — rather than guessing.
+
+use tmo_sim::{ByteSize, SimDuration, SimTime};
+
+use crate::event::{EventKind, Target, Window};
+use crate::scenario::Scenario;
+
+/// First eight bytes of every trace file.
+pub const TRACE_MAGIC: [u8; 8] = *b"TMOTRACE";
+
+/// The format version this build writes and the only one it reads.
+pub const TRACE_VERSION: u16 = 1;
+
+/// Demand milli-units meaning "no modulation" (1.0x).
+pub const DEMAND_UNIT: u32 = 1000;
+
+/// One sampling period of one container's recorded behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSample {
+    /// Demand multiplier in milli-units (`1000` = 1.0x).
+    pub demand_milli: u32,
+    /// Anonymous leak rate during the period, bytes per second.
+    pub leak_bytes_per_sec: u64,
+    /// File-cache churn rate during the period, bytes per second.
+    pub churn_bytes_per_sec: u64,
+}
+
+impl TraceSample {
+    /// A neutral sample: 1.0x demand, no leak, no churn.
+    pub const STEADY: TraceSample = TraceSample {
+        demand_milli: DEMAND_UNIT,
+        leak_bytes_per_sec: 0,
+        churn_bytes_per_sec: 0,
+    };
+}
+
+/// One container's recorded series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerTrace {
+    /// Container name (diagnostic only; replay targets by index).
+    pub name: String,
+    /// Samples, one per period, in time order.
+    pub samples: Vec<TraceSample>,
+}
+
+/// A recorded multi-container trace: the unit of encode/decode/compile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordedTrace {
+    /// Wall time covered by each sample.
+    pub period: SimDuration,
+    /// Per-container series, in machine insertion order.
+    pub containers: Vec<ContainerTrace>,
+}
+
+/// Why a byte string failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// The first eight bytes are not [`TRACE_MAGIC`].
+    BadMagic,
+    /// The version field is one this build does not read.
+    UnsupportedVersion(u16),
+    /// The bytes end before the layout says they should.
+    Truncated,
+    /// A container name is not valid UTF-8.
+    BadName,
+    /// Decoding succeeded but bytes remain — the trace was probably
+    /// concatenated or corrupted, so reject it whole.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadMagic => write!(f, "not a TMOTRACE file"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::Truncated => write!(f, "trace truncated mid-record"),
+            TraceError::BadName => write!(f, "container name is not UTF-8"),
+            TraceError::TrailingBytes => write!(f, "trailing bytes after the last record"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// A little-endian cursor over the raw bytes; every read is
+/// bounds-checked so truncation surfaces as an error, never a panic.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or(TraceError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(TraceError::Truncated);
+        }
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u16(&mut self) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl RecordedTrace {
+    /// Serialises the trace into the version-1 byte layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.containers.len() * 32);
+        out.extend_from_slice(&TRACE_MAGIC);
+        out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.containers.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.period.as_nanos().to_le_bytes());
+        for c in &self.containers {
+            out.extend_from_slice(&(c.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(c.name.as_bytes());
+            out.extend_from_slice(&(c.samples.len() as u32).to_le_bytes());
+            for s in &c.samples {
+                out.extend_from_slice(&s.demand_milli.to_le_bytes());
+                out.extend_from_slice(&s.leak_bytes_per_sec.to_le_bytes());
+                out.extend_from_slice(&s.churn_bytes_per_sec.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses the version-1 byte layout. Every malformed input maps to
+    /// a [`TraceError`]; nothing panics and nothing is guessed.
+    pub fn decode(bytes: &[u8]) -> Result<RecordedTrace, TraceError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(8)? != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != TRACE_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let n_containers = r.u16()?;
+        let period = SimDuration::from_nanos(r.u64()?);
+        let mut containers = Vec::new();
+        for _ in 0..n_containers {
+            let name_len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| TraceError::BadName)?
+                .to_string();
+            let n_samples = r.u32()?;
+            // Grown sample by sample: the count is attacker-controlled
+            // until the reads behind it succeed, so no up-front
+            // allocation proportional to it.
+            let mut samples = Vec::new();
+            for _ in 0..n_samples {
+                samples.push(TraceSample {
+                    demand_milli: r.u32()?,
+                    leak_bytes_per_sec: r.u64()?,
+                    churn_bytes_per_sec: r.u64()?,
+                });
+            }
+            containers.push(ContainerTrace { name, samples });
+        }
+        if r.pos != bytes.len() {
+            return Err(TraceError::TrailingBytes);
+        }
+        Ok(RecordedTrace { period, containers })
+    }
+
+    /// Compiles the trace into a [`Scenario`]: consecutive equal
+    /// samples collapse into one event span per channel
+    /// ([`EventKind::FlashCrowd`] for demand ≠ 1.0x,
+    /// [`EventKind::MemoryLeak`], [`EventKind::SidecarSpike`]).
+    ///
+    /// Event order is a pure function of the trace contents —
+    /// containers in index order, channels demand → leak → churn,
+    /// spans in time order — so byte-equal traces always produce
+    /// identical event lists. A zero period makes every span empty
+    /// (and [`Window::contains`] empty-window semantics make the
+    /// scenario inert) rather than panicking.
+    pub fn compile(&self, name: impl Into<String>, summary: impl Into<String>) -> Scenario {
+        let mut scenario = Scenario::new(name, summary);
+        let period_ns = self.period.as_nanos();
+        for (ci, c) in self.containers.iter().enumerate() {
+            let target = Target::Container(ci);
+            let span = |scenario: &mut Scenario, start: usize, len: usize, kind: EventKind| {
+                let window = Window::new(
+                    SimTime::from_nanos(start as u64 * period_ns),
+                    SimDuration::from_nanos(len as u64 * period_ns),
+                );
+                scenario
+                    .events
+                    .push(crate::event::ScenarioEvent::new(target, window, kind));
+            };
+            for (start, len, demand) in runs(&c.samples, |s| s.demand_milli) {
+                if demand != DEMAND_UNIT {
+                    let magnitude = f64::from(demand) / f64::from(DEMAND_UNIT);
+                    span(
+                        &mut scenario,
+                        start,
+                        len,
+                        EventKind::FlashCrowd { magnitude },
+                    );
+                }
+            }
+            for (start, len, leak) in runs(&c.samples, |s| s.leak_bytes_per_sec) {
+                if leak > 0 {
+                    span(
+                        &mut scenario,
+                        start,
+                        len,
+                        EventKind::MemoryLeak {
+                            rate: ByteSize::new(leak),
+                        },
+                    );
+                }
+            }
+            for (start, len, churn) in runs(&c.samples, |s| s.churn_bytes_per_sec) {
+                if churn > 0 {
+                    span(
+                        &mut scenario,
+                        start,
+                        len,
+                        EventKind::SidecarSpike {
+                            churn: ByteSize::new(churn),
+                        },
+                    );
+                }
+            }
+        }
+        scenario
+    }
+}
+
+/// Run-length encodes one channel: `(start index, length, value)` for
+/// every maximal run of consecutive equal values.
+fn runs<T: PartialEq + Copy>(
+    samples: &[TraceSample],
+    channel: impl Fn(&TraceSample) -> T,
+) -> Vec<(usize, usize, T)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < samples.len() {
+        let v = channel(&samples[i]);
+        let mut j = i + 1;
+        while j < samples.len() && channel(&samples[j]) == v {
+            j += 1;
+        }
+        out.push((i, j - i, v));
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(demand: u32, leak: u64, churn: u64) -> TraceSample {
+        TraceSample {
+            demand_milli: demand,
+            leak_bytes_per_sec: leak,
+            churn_bytes_per_sec: churn,
+        }
+    }
+
+    fn two_container_trace() -> RecordedTrace {
+        RecordedTrace {
+            period: SimDuration::from_secs(30),
+            containers: vec![
+                ContainerTrace {
+                    name: "web".into(),
+                    samples: vec![
+                        TraceSample::STEADY,
+                        sample(2500, 0, 0),
+                        sample(2500, 0, 0),
+                        TraceSample::STEADY,
+                    ],
+                },
+                ContainerTrace {
+                    name: "sidecar".into(),
+                    samples: vec![
+                        sample(1000, 0, 4096),
+                        sample(1000, 1024, 4096),
+                        TraceSample::STEADY,
+                        TraceSample::STEADY,
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let t = two_container_trace();
+        assert_eq!(RecordedTrace::decode(&t.encode()), Ok(t));
+    }
+
+    #[test]
+    fn decode_rejects_bad_magic_and_versions() {
+        let mut bytes = two_container_trace().encode();
+        bytes[0] = b'X';
+        assert_eq!(RecordedTrace::decode(&bytes), Err(TraceError::BadMagic));
+
+        let mut bytes = two_container_trace().encode();
+        bytes[8] = 0xFF;
+        bytes[9] = 0xFF;
+        assert_eq!(
+            RecordedTrace::decode(&bytes),
+            Err(TraceError::UnsupportedVersion(0xFFFF))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncation_at_every_length() {
+        let bytes = two_container_trace().encode();
+        for len in 0..bytes.len() {
+            assert_eq!(
+                RecordedTrace::decode(&bytes[..len]),
+                Err(TraceError::Truncated),
+                "prefix of {len} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut bytes = two_container_trace().encode();
+        bytes.push(0);
+        assert_eq!(
+            RecordedTrace::decode(&bytes),
+            Err(TraceError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_invalid_utf8_names() {
+        let t = RecordedTrace {
+            period: SimDuration::from_secs(1),
+            containers: vec![ContainerTrace {
+                name: "ab".into(),
+                samples: vec![],
+            }],
+        };
+        let mut bytes = t.encode();
+        // The name starts right after the 20-byte header + 2-byte len.
+        bytes[22] = 0xFF;
+        bytes[23] = 0xFE;
+        assert_eq!(RecordedTrace::decode(&bytes), Err(TraceError::BadName));
+    }
+
+    #[test]
+    fn compile_collapses_runs_and_orders_events() {
+        let s = two_container_trace().compile("replay", "t");
+        // web: one 2.5x demand span over samples [1,3); sidecar: churn
+        // span [0,2), leak span [1,2).
+        assert_eq!(s.events.len(), 3);
+        assert_eq!(s.events[0].kind, EventKind::FlashCrowd { magnitude: 2.5 });
+        assert_eq!(s.events[0].target, Target::Container(0));
+        assert_eq!(s.events[0].window.start, SimTime::from_secs(30));
+        assert_eq!(s.events[0].window.duration, SimDuration::from_secs(60));
+        assert_eq!(
+            s.events[1].kind,
+            EventKind::MemoryLeak {
+                rate: ByteSize::new(1024)
+            }
+        );
+        assert_eq!(s.events[1].target, Target::Container(1));
+        assert_eq!(
+            s.events[2].kind,
+            EventKind::SidecarSpike {
+                churn: ByteSize::new(4096)
+            }
+        );
+        assert_eq!(s.events[2].window.start, SimTime::ZERO);
+        assert_eq!(s.events[2].window.duration, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn steady_trace_compiles_to_no_events() {
+        let t = RecordedTrace {
+            period: SimDuration::from_secs(10),
+            containers: vec![ContainerTrace {
+                name: "quiet".into(),
+                samples: vec![TraceSample::STEADY; 8],
+            }],
+        };
+        assert!(t.compile("quiet", "t").events.is_empty());
+    }
+}

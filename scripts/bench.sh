@@ -47,13 +47,16 @@ echo "==> paper_scale sweep ($MODE)"
 # full run sweeps up to 100k hosts. Stdout is discarded here — the
 # determinism assertions inside the experiment still run either way.
 cargo build --release --offline -q -p tmo-experiments --bin repro
-if [[ "$MODE" == smoke ]]; then
-    TMO_SCALING_JSON="$OUTDIR/BENCH_scaling.json" \
-        ./target/release/repro --experiment ext_paper_scale --quick >/dev/null
-else
-    TMO_SCALING_JSON="$OUTDIR/BENCH_scaling.json" \
-        ./target/release/repro --experiment ext_paper_scale >/dev/null
-fi
+run_scaling() {
+    if [[ "$MODE" == smoke ]]; then
+        TMO_SCALING_JSON="$OUTDIR/BENCH_scaling.json" \
+            ./target/release/repro --experiment ext_paper_scale --quick >/dev/null
+    else
+        TMO_SCALING_JSON="$OUTDIR/BENCH_scaling.json" \
+            ./target/release/repro --experiment ext_paper_scale >/dev/null
+    fi
+}
+run_scaling
 
 echo "==> bench-check"
 cargo build --release --offline -q -p tmo-bench --bin bench-check
@@ -81,7 +84,21 @@ for attempt in 1 2 3; do
     fi
 done
 # Hard parallel-efficiency gate: >= 0.7 at jobs=4 for >= 10k hosts in
-# full mode, >= 0.5 for every jobs=4 cell in smoke mode.
-./target/release/bench-check paper-scale "$OUTDIR/BENCH_scaling.json"
+# full mode, >= 0.5 for every jobs=4 cell in smoke mode. Parallel
+# efficiency is a wall-clock ratio, so it suffers the same co-tenant
+# noise as the speedup gate above and gets the same remedy: a failed
+# check re-measures (fresh scaling sweep) up to two times before it is
+# believed.
+for attempt in 1 2 3; do
+    if ./target/release/bench-check paper-scale "$OUTDIR/BENCH_scaling.json"; then
+        break
+    elif [[ "$attempt" == 3 ]]; then
+        echo "paper-scale efficiency gate failed on all $attempt attempts" >&2
+        exit 1
+    else
+        echo "    paper-scale gate failed (attempt $attempt); re-measuring" >&2
+        run_scaling
+    fi
+done
 
 echo "==> bench.sh: reports written to $OUTDIR (mode=$MODE)"

@@ -20,11 +20,21 @@ echo "==> seed stability: 1k-host jobs sweep (release)"
 cargo test --release -q --offline --test seed_stability
 
 echo "==> scenario stability: full catalog jobs sweep (release)"
-# Every shipped adversarial scenario (tmo-scenarios catalog) replayed
-# over a small fleet at jobs ∈ {1,4,8} must produce bit-identical
-# ScenarioOutcomes — SLO reports, blame ledgers, and degradation
-# scalars compared field-for-field (tests/scenario_stability.rs).
+# Every shipped adversarial scenario (tmo-scenarios catalog, shipped
+# and extended) replayed over a small fleet at jobs ∈ {1,4,8} must
+# produce bit-identical ScenarioOutcomes — SLO reports, blame ledgers,
+# and degradation scalars compared field-for-field
+# (tests/scenario_stability.rs).
 cargo test --release -q --offline --test scenario_stability
+
+echo "==> blame ground truth: causal vs pro-rata differential (release)"
+# Planted single-offender scenarios with counterfactual ground truth
+# (tests/blame_ground_truth.rs): the provenance CausalLedger must name
+# the planted offender on every host, carry strictly less per-edge
+# charge error than the growth-pro-rata heuristic, and stay silent on
+# steady innocent hosts. Release mode: each planted case replays its
+# hosts twice (with and without the plant).
+cargo test --release -q --offline --test blame_ground_truth
 
 echo "==> tmo-lint: determinism contract gate"
 # Static determinism analysis (DESIGN.md "Determinism contract"): the
@@ -65,6 +75,16 @@ echo "==> adversarial smoke: ext_adversarial --quick --jobs 4 vs golden"
 ./target/release/repro --experiment ext_adversarial --quick --jobs 4 2>/dev/null \
     | diff -u scripts/golden/ext_adversarial_quick.txt - \
     || { echo "ext_adversarial output drifted from scripts/golden/ext_adversarial_quick.txt"; exit 1; }
+
+echo "==> blame-validation smoke: ext_blame_validation --quick --jobs 4 vs golden"
+# Provenance tags reclaim with the already-chosen trigger and draws
+# nothing, so the precision table is byte-stable across runs and
+# worker counts. The golden pins the measured causal-vs-pro-rata
+# differential (top-offender precision and per-edge charge error);
+# the hard pass/fail thresholds live in tests/blame_ground_truth.rs.
+./target/release/repro --experiment ext_blame_validation --quick --jobs 4 2>/dev/null \
+    | diff -u scripts/golden/ext_blame_validation_quick.txt - \
+    || { echo "ext_blame_validation output drifted from scripts/golden/ext_blame_validation_quick.txt"; exit 1; }
 
 echo "==> bench smoke: scripts/bench.sh --smoke"
 # Compiles and exercises every benchmark with clamped sample counts and

@@ -79,6 +79,7 @@ fn run_fleet(jobs: usize, scenario: &Scenario) -> Vec<ScenarioOutcome> {
                 scenario: format!("host {} failed: {}", e.host, e.message),
                 reports: Vec::new(),
                 blame: BlameLedger::new(0),
+                causal: CausalLedger::new(0),
                 total_degradation: -1.0,
                 kills: 0,
                 stall_fraction: -1.0,
@@ -90,7 +91,9 @@ fn run_fleet(jobs: usize, scenario: &Scenario) -> Vec<ScenarioOutcome> {
 
 #[test]
 fn every_shipped_scenario_is_bit_identical_across_jobs() {
-    for scenario in catalog::all(run_len(), dram()) {
+    let mut shipped = catalog::all(run_len(), dram());
+    shipped.extend(catalog::extended(run_len(), dram()));
+    for scenario in shipped {
         let base = run_fleet(1, &scenario);
         assert_eq!(base.len(), HOSTS);
         for jobs in [4usize, 8] {
